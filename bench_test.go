@@ -1,0 +1,124 @@
+package glign
+
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§4) at benchmark-friendly scale, one testing.B target per artifact, plus
+// engine microbenchmarks. The full-size harness (with printed tables) is
+// cmd/glign-bench; the experiment-id mapping is DESIGN.md's index.
+//
+//	go test -bench=. -benchmem            # everything, small scale
+//	go test -bench=BenchmarkFig11 -v      # one artifact
+
+import (
+	"io"
+	"testing"
+
+	"github.com/glign/glign/internal/align"
+	"github.com/glign/glign/internal/bench"
+	"github.com/glign/glign/internal/cachesim"
+	"github.com/glign/glign/internal/core"
+	"github.com/glign/glign/internal/engine"
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/queries"
+	"github.com/glign/glign/internal/workload"
+)
+
+// benchCfg is the scale used by the per-artifact benchmarks: big enough for
+// the alignment effects to be visible, small enough for -bench=. to finish
+// in minutes.
+func benchCfg() bench.Config {
+	cfg := bench.DefaultConfig(true)
+	cfg.BufferSize = 64
+	cfg.BatchSize = 16
+	cfg.Graphs = []graph.Dataset{graph.LJ, graph.TW}
+	cfg.Workloads = []string{"BFS", "SSSP"}
+	return cfg
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchCfg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkFig1LLCMisses(b *testing.B)      { benchExperiment(b, "fig1") }
+func BenchmarkFig7FrontierSizes(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkTable8LigraS(b *testing.B)       { benchExperiment(b, "tab8") }
+func BenchmarkFig11Overall(b *testing.B)       { benchExperiment(b, "fig11") }
+func BenchmarkTable9LLC(b *testing.B)          { benchExperiment(b, "tab9") }
+func BenchmarkFig12Intra(b *testing.B)         { benchExperiment(b, "fig12") }
+func BenchmarkTable10IntraLLC(b *testing.B)    { benchExperiment(b, "tab10") }
+func BenchmarkTable11Footprint(b *testing.B)   { benchExperiment(b, "tab11") }
+func BenchmarkFig13Inter(b *testing.B)         { benchExperiment(b, "fig13") }
+func BenchmarkFig14Affinity(b *testing.B)      { benchExperiment(b, "fig14") }
+func BenchmarkTable12InterLLC(b *testing.B)    { benchExperiment(b, "tab12") }
+func BenchmarkTable13GroundTruth(b *testing.B) { benchExperiment(b, "tab13") }
+func BenchmarkTable14Profiling(b *testing.B)   { benchExperiment(b, "tab14") }
+func BenchmarkFig15Batch(b *testing.B)         { benchExperiment(b, "fig15") }
+func BenchmarkFig16BatchSize(b *testing.B)     { benchExperiment(b, "fig16") }
+func BenchmarkTable15Road(b *testing.B)        { benchExperiment(b, "tab15") }
+func BenchmarkTable16IBFS(b *testing.B)        { benchExperiment(b, "tab16") }
+
+// Engine microbenchmarks: one single-source query and one 16-query batch
+// per engine, reporting relaxations/sec.
+
+func benchGraph() (*graph.Graph, []queries.Query) {
+	g := graph.MustGenerate(graph.LJ, graph.Small)
+	srcs := workload.Sources(g, profileFor(g), 16, 3)
+	return g, workload.Homogeneous(queries.SSSP, srcs)
+}
+
+func profileFor(g *graph.Graph) *align.Profile {
+	return align.NewProfile(g, align.DefaultHubCount, 0)
+}
+
+func BenchmarkSingleQuerySSSP(b *testing.B) {
+	g, batch := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := engine.Run(g, batch[i%len(batch)], engine.Options{})
+		if res.Iterations == 0 {
+			b.Fatal("no iterations")
+		}
+	}
+}
+
+func benchBatchEngine(b *testing.B, e core.Engine) {
+	g, batch := benchGraph()
+	b.ResetTimer()
+	var relaxes int64
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(g, batch, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		relaxes += res.LaneRelaxations
+	}
+	b.ReportMetric(float64(relaxes)/b.Elapsed().Seconds(), "relax/s")
+}
+
+func BenchmarkBatchLigraC(b *testing.B)     { benchBatchEngine(b, core.LigraC) }
+func BenchmarkBatchKrill(b *testing.B)      { benchBatchEngine(b, core.Krill) }
+func BenchmarkBatchGlignIntra(b *testing.B) { benchBatchEngine(b, core.GlignIntra) }
+
+// Cache-simulator microbenchmark: touches/sec on a streaming pattern.
+func BenchmarkCacheSimStream(b *testing.B) {
+	c := cachesim.New(cachesim.DefaultLLC())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(int64(i)*64, 8, i%4 == 0)
+	}
+	if c.Misses() == 0 {
+		b.Fatal("no misses")
+	}
+}

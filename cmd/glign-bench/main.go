@@ -1,0 +1,123 @@
+// Command glign-bench regenerates the tables and figures of the paper's
+// evaluation section on the synthetic stand-in graphs. Each experiment id
+// maps to one paper artifact (see DESIGN.md's experiment index).
+//
+// Examples:
+//
+//	glign-bench -list
+//	glign-bench -exp fig11                 # overall speedups
+//	glign-bench -exp all -short            # everything, CI scale
+//	glign-bench -exp tab9 -graphs LJ,TW -workloads BFS,SSSP -size small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/glign/glign/internal/bench"
+	"github.com/glign/glign/internal/graph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "glign-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp       = flag.String("exp", "", "experiment id (fig1, fig7, tab8, ... or 'all')")
+		list      = flag.Bool("list", false, "list experiments")
+		short     = flag.Bool("short", false, "CI-scale configuration")
+		size      = flag.String("size", "", "override size class (tiny, small, medium)")
+		buffer    = flag.Int("buffer", 0, "override buffer size")
+		batch     = flag.Int("batch", 0, "override batch size")
+		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		seed      = flag.Int64("seed", 0, "override workload seed")
+		llcBytes  = flag.Int64("llc", 0, "override simulated LLC size in bytes")
+		graphsCSV = flag.String("graphs", "", "restrict to datasets (comma-separated)")
+		wlCSV     = flag.String("workloads", "", "restrict to workloads (comma-separated)")
+		csvOut    = flag.Bool("csv", false, "emit CSV instead of aligned text tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-6s  %-18s  %s\n", e.ID, e.Paper, e.Title)
+		}
+		return nil
+	}
+	if *exp == "" {
+		return fmt.Errorf("-exp or -list is required")
+	}
+
+	cfg := bench.DefaultConfig(*short)
+	cfg.Workers = *workers
+	if *size != "" {
+		switch *size {
+		case "tiny":
+			cfg.Size = graph.Tiny
+		case "small":
+			cfg.Size = graph.Small
+		case "medium":
+			cfg.Size = graph.Medium
+		default:
+			return fmt.Errorf("unknown size %q", *size)
+		}
+		cfg.LLC = bench.LLCFor(cfg.Size)
+	}
+	if *llcBytes > 0 {
+		cfg.LLC.SizeBytes = *llcBytes
+		if err := cfg.LLC.Validate(); err != nil {
+			return err
+		}
+	}
+	if *buffer > 0 {
+		cfg.BufferSize = *buffer
+	}
+	if *batch > 0 {
+		cfg.BatchSize = *batch
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *graphsCSV != "" {
+		cfg.Graphs = nil
+		for _, s := range strings.Split(*graphsCSV, ",") {
+			cfg.Graphs = append(cfg.Graphs, graph.Dataset(strings.TrimSpace(s)))
+		}
+	}
+	if *wlCSV != "" {
+		cfg.Workloads = nil
+		for _, s := range strings.Split(*wlCSV, ",") {
+			cfg.Workloads = append(cfg.Workloads, strings.TrimSpace(s))
+		}
+	}
+	cfg.CSV = *csvOut
+
+	var exps []bench.Experiment
+	if *exp == "all" {
+		exps = bench.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := bench.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			exps = append(exps, e)
+		}
+	}
+	for _, e := range exps {
+		fmt.Printf("### %s (%s): %s\n", e.ID, e.Paper, e.Title)
+		start := time.Now()
+		if err := e.Run(cfg, os.Stdout); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+// Command glign-profile inspects the alignment structure of a graph: the
+// high-degree hubs, the closestHV (heavy-iteration arrival estimate)
+// distribution, per-query frontier traces, and the affinity between
+// concrete queries under chosen or optimal alignments.
+//
+// Examples:
+//
+//	glign-profile -dataset LJ -size small                  # hubs + histogram
+//	glign-profile -dataset LJ -trace SSSP:17               # frontier sizes
+//	glign-profile -dataset LJ -affinity SSSP:17,SSSP:99    # pairwise affinity
+//	glign-profile -dataset LJ -affinity SSSP:17,SSSP:99 -optimal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	glign "github.com/glign/glign"
+	"github.com/glign/glign/internal/align"
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/queries"
+	"github.com/glign/glign/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "glign-profile:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		graphPath = flag.String("graph", "", "graph file to load (.bin or edge list)")
+		directed  = flag.Bool("directed", true, "treat -graph edge list as directed")
+		dataset   = flag.String("dataset", "", "synthetic dataset to generate")
+		size      = flag.String("size", "small", "size class (tiny, small, medium)")
+		hubs      = flag.Int("hubs", align.DefaultHubCount, "number of high-degree hubs K")
+		traceSpec = flag.String("trace", "", "trace one query, e.g. SSSP:17")
+		affSpec   = flag.String("affinity", "", "comma-separated queries to compare, e.g. SSSP:17,SSSP:99")
+		alignCSV  = flag.String("align", "", "explicit alignment vector for -affinity, e.g. 2,0")
+		optimal   = flag.Bool("optimal", false, "exhaustively search the optimal alignment for -affinity")
+		maxShift  = flag.Int("maxshift", 8, "shift bound of the optimal search")
+		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	var g *glign.Graph
+	var err error
+	switch {
+	case *graphPath != "":
+		g, err = glign.LoadGraph(*graphPath, *directed)
+	case *dataset != "":
+		g, err = glign.Generate(*dataset, *size)
+	default:
+		return fmt.Errorf("one of -graph or -dataset is required")
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(g)
+
+	prof := align.NewProfile(g, *hubs, *workers)
+	fmt.Printf("profile built in %s (%s resident)\n",
+		stats.FormatDuration(prof.PrepTime.Seconds()),
+		stats.FormatCount(float64(prof.MemoryBytes())))
+
+	switch {
+	case *traceSpec != "":
+		return runTrace(g, prof, *traceSpec, *workers)
+	case *affSpec != "":
+		return runAffinity(g, prof, *affSpec, *alignCSV, *optimal, *maxShift, *workers)
+	default:
+		return printOverview(g, prof)
+	}
+}
+
+// printOverview reports the hubs and the closestHV histogram.
+func printOverview(g *glign.Graph, prof *align.Profile) error {
+	tb := &stats.Table{Title: "High-degree hubs", Header: []string{"hub", "out-degree"}}
+	for _, h := range prof.Hubs {
+		tb.AddRow(fmt.Sprintf("v%d", h), fmt.Sprint(g.OutDegree(h)))
+	}
+	fmt.Print(tb.String())
+
+	hist := map[int32]int{}
+	maxD := int32(0)
+	unreachable := 0
+	for _, d := range prof.ClosestHV {
+		if d < 0 {
+			unreachable++
+			continue
+		}
+		hist[d]++
+		if d > maxD {
+			maxD = d
+		}
+	}
+	tb = &stats.Table{
+		Title:  "closestHV histogram (estimated heavy-iteration arrival of a query per source)",
+		Header: []string{"hops to nearest hub", "sources", "share"},
+	}
+	n := float64(g.NumVertices())
+	for d := int32(0); d <= maxD; d++ {
+		if hist[d] == 0 {
+			continue
+		}
+		tb.AddRow(fmt.Sprint(d), fmt.Sprint(hist[d]), fmt.Sprintf("%.1f%%", 100*float64(hist[d])/n))
+	}
+	if unreachable > 0 {
+		tb.AddRow("unreachable", fmt.Sprint(unreachable), fmt.Sprintf("%.1f%%", 100*float64(unreachable)/n))
+	}
+	fmt.Print(tb.String())
+	return nil
+}
+
+// parseQuery parses "KERNEL:src".
+func parseQuery(spec string, n int) (queries.Query, error) {
+	parts := strings.SplitN(strings.TrimSpace(spec), ":", 2)
+	if len(parts) != 2 {
+		return queries.Query{}, fmt.Errorf("bad query spec %q (want KERNEL:src)", spec)
+	}
+	k, err := queries.ByName(parts[0])
+	if err != nil {
+		return queries.Query{}, err
+	}
+	src, err := strconv.ParseUint(parts[1], 10, 32)
+	if err != nil || int(src) >= n {
+		return queries.Query{}, fmt.Errorf("bad source in %q", spec)
+	}
+	return queries.Query{Kernel: k, Source: graph.VertexID(src)}, nil
+}
+
+func runTrace(g *glign.Graph, prof *align.Profile, spec string, workers int) error {
+	q, err := parseQuery(spec, g.NumVertices())
+	if err != nil {
+		return err
+	}
+	tr := align.TraceQuery(g, q, workers)
+	arrival := align.HeavyArrivalFromTrace(tr, prof.Hubs)
+	fmt.Printf("%s: %d iterations, heavy-iteration arrival at %d (estimate %d)\n",
+		q, len(tr.Sizes), arrival, prof.ArrivalEstimate(q.Source))
+	fmt.Println("iteration,frontier_vertices,frontier_out_edges")
+	for j, s := range tr.Sizes {
+		fmt.Printf("%d,%d,%d\n", j, s, tr.EdgeSizes[j])
+	}
+	return nil
+}
+
+func runAffinity(g *glign.Graph, prof *align.Profile, spec, alignCSV string, optimal bool, maxShift, workers int) error {
+	var batch []queries.Query
+	for _, s := range strings.Split(spec, ",") {
+		q, err := parseQuery(s, g.NumVertices())
+		if err != nil {
+			return err
+		}
+		batch = append(batch, q)
+	}
+	if len(batch) < 2 {
+		return fmt.Errorf("-affinity needs at least two queries")
+	}
+	traces := align.TraceBatch(g, batch, workers)
+
+	report := func(label string, I []int) {
+		fmt.Printf("%-22s I=%v  affinity=%.4f  edge-affinity=%.4f\n",
+			label, I, align.Affinity(traces, I), align.AffinityEdges(traces, I, g))
+	}
+	report("zero alignment", make([]int, len(batch)))
+	report("heuristic (closestHV)", prof.AlignmentVector(batch))
+	if alignCSV != "" {
+		var I []int
+		for _, f := range strings.Split(alignCSV, ",") {
+			x, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return fmt.Errorf("bad -align: %v", err)
+			}
+			I = append(I, x)
+		}
+		if len(I) != len(batch) {
+			return fmt.Errorf("-align length %d != %d queries", len(I), len(batch))
+		}
+		report("explicit", I)
+	}
+	if optimal {
+		best, aff := align.OptimalAlignment(traces, maxShift)
+		fmt.Printf("%-22s I=%v  affinity=%.4f (exhaustive, shifts <= %d)\n",
+			"optimal", best, aff, maxShift)
+	}
+	return nil
+}

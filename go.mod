@@ -1,0 +1,3 @@
+module github.com/glign/glign
+
+go 1.22

@@ -1,0 +1,63 @@
+package align
+
+// OptimalAlignment exhaustively searches alignment vectors (every query
+// delayed by 0..maxShift global iterations, with at least one query
+// starting at 0) and returns the vector maximizing vertex-based affinity,
+// together with that affinity. This is the ground truth of the paper's
+// Table 13 study; it is exponential in the batch size and intended for
+// small batches (the paper uses pairs).
+func OptimalAlignment(traces []*Trace, maxShift int) ([]int, float64) {
+	b := len(traces)
+	if b == 0 {
+		return nil, 0
+	}
+	best := make([]int, b)
+	bestAff := Affinity(traces, best)
+	cur := make([]int, b)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == b {
+			if !hasZero(cur) {
+				return // normalized vectors only: delaying everyone is redundant
+			}
+			if a := Affinity(traces, cur); a > bestAff {
+				bestAff = a
+				copy(best, cur)
+			}
+			return
+		}
+		for s := 0; s <= maxShift; s++ {
+			cur[i] = s
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best, bestAff
+}
+
+func hasZero(v []int) bool {
+	for _, x := range v {
+		if x == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// RelativeShift reduces a 2-query alignment vector to the signed delay of
+// query 0 relative to query 1, the quantity compared between heuristic and
+// optimal alignments in the Table 13 ground-truth study.
+func RelativeShift(I []int) int {
+	if len(I) != 2 {
+		panic("align: RelativeShift requires a 2-query alignment")
+	}
+	return I[0] - I[1]
+}
+
+// AbsDiff returns |a-b|, the "Diff" column of Table 13.
+func AbsDiff(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

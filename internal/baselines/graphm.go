@@ -1,0 +1,179 @@
+// Package baselines implements the comparator systems of the paper's
+// evaluation that are not Ligra-derived engines: a GraphM-style
+// partition-centric concurrent engine, the iBFS query-grouping heuristic
+// (§4.8), and the BGL-style query-level-parallelism design dismissed in
+// §4.1.
+package baselines
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"github.com/glign/glign/internal/core"
+	"github.com/glign/glign/internal/frontier"
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/par"
+	"github.com/glign/glign/internal/queries"
+)
+
+// GraphM models GraphM (Zhao et al., SC'19), which is built on the
+// out-of-core system GridGraph: the graph is cut into partitions sized to
+// the cache, and in every super-iteration each partition is streamed once
+// while *all* jobs (queries) relevant to it are processed against it — a
+// "partition-centric" sharing of graph accesses, in contrast to Glign's
+// "iteration-centric" alignment. Per-query frontiers are kept separately,
+// as each job owns its state in GraphM.
+type GraphM struct {
+	// PartitionBytes is the target size of one partition's edge block
+	// (default 256 KiB — a cache-resident block, as GridGraph sizes them).
+	PartitionBytes int64
+}
+
+// Name implements core.Engine.
+func (GraphM) Name() string { return "GraphM" }
+
+// partitionRanges cuts the vertex space into contiguous ranges whose edge
+// blocks are roughly target bytes (4 bytes per target + 4 per weight).
+func partitionRanges(g *graph.Graph, target int64) [][2]int {
+	if target <= 0 {
+		target = 256 << 10
+	}
+	bytesPerEdge := int64(4)
+	if g.Weighted() {
+		bytesPerEdge = 8
+	}
+	n := g.NumVertices()
+	var parts [][2]int
+	lo := 0
+	var acc int64
+	for v := 0; v < n; v++ {
+		acc += int64(g.OutDegree(graph.VertexID(v))) * bytesPerEdge
+		if acc >= target {
+			parts = append(parts, [2]int{lo, v + 1})
+			lo = v + 1
+			acc = 0
+		}
+	}
+	if lo < n {
+		parts = append(parts, [2]int{lo, n})
+	}
+	return parts
+}
+
+// Run implements core.Engine.
+func (e GraphM) Run(g *graph.Graph, batch []queries.Query, opt core.Options) (*core.BatchResult, error) {
+	st, err := core.PrepareBatch(g, batch, opt)
+	if err != nil {
+		return nil, err
+	}
+	n, b := st.N, st.B
+	kinds := queries.KindsOf(st.Kernels)
+	res := &core.BatchResult{B: b, N: n, Values: st.Vals}
+	parts := partitionRanges(g, e.PartitionBytes)
+
+	tr := opt.Tracer
+	workers := opt.Workers
+	var addr *core.TraceAddressing
+	if tr != nil {
+		workers = 1
+		addr = core.NewTraceAddressing(g, b, core.LayoutTwoLevel)
+	}
+
+	sep := make([]*frontier.Subset, b)
+	for i := range sep {
+		sep[i] = frontier.New(n)
+	}
+
+	for iter := 0; ; iter++ {
+		for _, qi := range st.InjectionsAt(iter) {
+			src := st.Sources[qi]
+			st.Vals.Set(int(src)*b+qi, st.Kernels[qi].SourceValue())
+			sep[qi].Add(src)
+		}
+		unionCount := 0
+		for _, s := range sep {
+			unionCount += s.Count()
+		}
+		if unionCount == 0 && !st.PendingAfter(iter) {
+			break
+		}
+		if opt.MaxIterations > 0 && iter >= opt.MaxIterations {
+			break
+		}
+		res.UnionFrontierSizes = append(res.UnionFrontierSizes, unionCount)
+		res.GlobalIterations++
+
+		// Materialize sparse views up front: the partition workers below
+		// only read them. Each materialization scans the query's frontier
+		// bitmap.
+		active := make([][]graph.VertexID, b)
+		for i, s := range sep {
+			active[i] = s.Sparse()
+			if tr != nil {
+				core.TraceRegionScan(tr, addr.SepCurBase(i), s.WordsBytes())
+			}
+		}
+		nextSep := make([]*frontier.Subset, b)
+		for i := range nextSep {
+			nextSep[i] = frontier.New(n)
+		}
+		// Partition-centric processing: stream each edge block once and run
+		// every query's active vertices of that block against it. Blocks
+		// are processed in parallel; within a block, jobs run one after
+		// another (each job is independent in GraphM).
+		par.For(len(parts), workers, 1, func(plo, phi int) {
+			var edges, relaxes int64
+			for pi := plo; pi < phi; pi++ {
+				vlo, vhi := parts[pi][0], parts[pi][1]
+				for qi := 0; qi < b; qi++ {
+					act := active[qi]
+					if len(act) == 0 {
+						continue
+					}
+					// The sparse view is sorted; binary-search the slice of
+					// active vertices inside this partition.
+					start := sort.Search(len(act), func(i int) bool { return int(act[i]) >= vlo })
+					k := st.Kernels[qi]
+					kind := kinds[qi]
+					for ai := start; ai < len(act) && int(act[ai]) < vhi; ai++ {
+						v := act[ai]
+						sv := st.Vals.Get(int(v)*b + qi)
+						if tr != nil {
+							tr.Access(addr.OffsetAddr(v), 8, false)
+							tr.Access(addr.ValueAddr(int(v)*b+qi), 8, false)
+						}
+						nbrs, ws := g.OutEdges(v)
+						for j, d := range nbrs {
+							edges++
+							relaxes++
+							w := graph.Weight(1)
+							if ws != nil {
+								w = ws[j]
+							}
+							if tr != nil {
+								addr.TraceEdgeRead(tr, g, int64(g.Offsets[v])+int64(j))
+								tr.Access(addr.ValueAddr(int(d)*b+qi), 8, false)
+							}
+							if queries.RelaxImprove(st.Vals, kind, k, int(d)*b+qi, sv, w) {
+								if tr != nil {
+									tr.Access(addr.ValueAddr(int(d)*b+qi), 8, true)
+									tr.Access(addr.SepNextWordAddr(qi, d), 8, true)
+								}
+								nextSep[qi].AddSync(d)
+							}
+						}
+					}
+				}
+			}
+			atomic.AddInt64(&res.EdgesProcessed, edges)
+			atomic.AddInt64(&res.LaneRelaxations, relaxes)
+		})
+		sep = nextSep
+		if tr != nil {
+			addr.SwapFrontiers()
+		}
+	}
+	return res, nil
+}
+
+var _ core.Engine = GraphM{}

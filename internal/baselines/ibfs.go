@@ -1,0 +1,112 @@
+package baselines
+
+import (
+	"sort"
+
+	"github.com/glign/glign/internal/align"
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/queries"
+	"github.com/glign/glign/internal/sched"
+)
+
+// IBFS implements the query-grouping heuristic of iBFS (Liu et al.,
+// SIGMOD'16) as the paper reimplements it for the CPU in §4.8: queries are
+// grouped into the same batch when (i) their sources' out-degrees are below
+// p, and (ii) the sources share at least one common out-neighbor whose
+// out-degree exceeds q. Sources failing the conditions fall back to arrival
+// order. The grouped batches are then evaluated with the two-level
+// (unified + separate frontier) engine, which is what iBFS uses.
+//
+// IBFS satisfies sched.Policy so it can be plugged into the same harness as
+// FCFS and affinity-oriented batching.
+type IBFS struct {
+	Graph *graph.Graph
+	// P bounds the source out-degree (condition i); <= 0 derives
+	// 2*ceil(avg degree).
+	P int
+	// Q is the minimum out-degree of the shared "hub" neighbor
+	// (condition ii); <= 0 derives the degree of the graph's
+	// align.DefaultHubCount-th largest hub.
+	Q int
+}
+
+// Name implements sched.Policy.
+func (IBFS) Name() string { return "iBFS" }
+
+// MakeBatches implements sched.Policy.
+func (h IBFS) MakeBatches(buffer []queries.Query, batchSize int) [][]int {
+	g := h.Graph
+	p := h.P
+	if p <= 0 {
+		p = 2 * (int(g.AvgDegree()) + 1)
+	}
+	q := h.Q
+	if q <= 0 {
+		hubs := g.TopOutDegreeVertices(align.DefaultHubCount)
+		q = g.OutDegree(hubs[len(hubs)-1]) - 1
+		if q < p {
+			q = p
+		}
+	}
+
+	// For each eligible source, its first heavy out-neighbor keys the
+	// group (a source with several heavy neighbors joins the first's
+	// group, a greedy simplification of iBFS's pairwise condition: all
+	// members of a group share that heavy neighbor).
+	groups := map[graph.VertexID][]int{}
+	var groupKeys []graph.VertexID
+	var rest []int
+	for i, query := range buffer {
+		src := query.Source
+		if g.OutDegree(src) >= p {
+			rest = append(rest, i)
+			continue
+		}
+		var key graph.VertexID
+		found := false
+		for _, d := range g.OutNeighbors(src) {
+			if g.OutDegree(d) > q {
+				key = d
+				found = true
+				break
+			}
+		}
+		if !found {
+			rest = append(rest, i)
+			continue
+		}
+		if _, ok := groups[key]; !ok {
+			groupKeys = append(groupKeys, key)
+		}
+		groups[key] = append(groups[key], i)
+	}
+	sort.Slice(groupKeys, func(a, b int) bool { return groupKeys[a] < groupKeys[b] })
+
+	var batches [][]int
+	var carry []int
+	flushCarry := func() {
+		for lo := 0; lo < len(carry); lo += batchSize {
+			hi := lo + batchSize
+			if hi > len(carry) {
+				hi = len(carry)
+			}
+			batches = append(batches, carry[lo:hi:hi])
+		}
+		carry = nil
+	}
+	for _, key := range groupKeys {
+		members := groups[key]
+		// Full batches from the group; the remainder joins the carry pool
+		// so partially-filled groups still batch together.
+		for len(members) >= batchSize {
+			batches = append(batches, members[:batchSize:batchSize])
+			members = members[batchSize:]
+		}
+		carry = append(carry, members...)
+	}
+	carry = append(carry, rest...)
+	flushCarry()
+	return batches
+}
+
+var _ sched.Policy = IBFS{}

@@ -1,0 +1,41 @@
+package baselines
+
+import (
+	"github.com/glign/glign/internal/core"
+	"github.com/glign/glign/internal/engine"
+	"github.com/glign/glign/internal/par"
+	"github.com/glign/glign/internal/queries"
+
+	"github.com/glign/glign/internal/graph"
+)
+
+// QueryParallel is the query-level-parallelism design the paper tests and
+// dismisses in §4.1: every query is evaluated with a serial textbook
+// implementation (as from the Boost Graph Library), and different queries
+// run on different threads. It shares nothing — no frontiers, no global
+// iterations — and serves as a lower baseline.
+type QueryParallel struct{}
+
+// Name implements core.Engine.
+func (QueryParallel) Name() string { return "Query-Parallel" }
+
+// Run implements core.Engine.
+func (QueryParallel) Run(g *graph.Graph, batch []queries.Query, opt core.Options) (*core.BatchResult, error) {
+	st, err := core.PrepareBatch(g, batch, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &core.BatchResult{B: st.B, N: st.N, Values: st.Vals}
+	par.For(len(batch), opt.Workers, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			vals := engine.ReferenceRun(g, batch[i])
+			for v := 0; v < st.N; v++ {
+				st.Vals.Set(v*st.B+i, vals[v])
+			}
+		}
+	})
+	res.GlobalIterations = 1
+	return res, nil
+}
+
+var _ core.Engine = QueryParallel{}

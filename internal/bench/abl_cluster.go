@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/glign/glign/internal/align"
+	"github.com/glign/glign/internal/sched"
+	"github.com/glign/glign/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID: "abl-cluster", Paper: "ablation",
+		Title: "Scalar ranking vs arrival-vector clustering for batching (extension of §3.4)",
+		Run:   runAblationCluster,
+	})
+}
+
+// runAblationCluster compares the measured affinity of batches formed by
+// FCFS, the paper's scalar closestHV ranking, and the arrival-vector
+// clustering extension.
+func runAblationCluster(cfg Config, w io.Writer) error {
+	d := cfg.graphs()[0]
+	e := envs.get(d, cfg)
+	buf, err := bufferFor(e, "SSSP", cfg)
+	if err != nil {
+		return err
+	}
+	traces := align.TraceBatch(e.g, buf, cfg.Workers)
+
+	meanAffinity := func(batches [][]int) float64 {
+		var vals []float64
+		for _, idx := range batches {
+			sub := make([]*align.Trace, len(idx))
+			for i, bi := range idx {
+				sub[i] = traces[bi]
+			}
+			vals = append(vals, align.Affinity(sub, make([]int, len(idx))))
+		}
+		return stats.Mean(vals)
+	}
+	policies := []sched.Policy{
+		sched.FCFS{},
+		sched.Affinity{Profile: e.prof},
+		sched.Cluster{Profile: e.prof},
+	}
+	tb := &stats.Table{
+		Title: fmt.Sprintf("Batching policy ablation (%s, SSSP, buffer %d, batch %d)",
+			d, len(buf), cfg.BatchSize),
+		Header: []string{"policy", "mean batch affinity", "1-affinity"},
+	}
+	for _, pol := range policies {
+		a := meanAffinity(pol.MakeBatches(buf, cfg.BatchSize))
+		tb.AddRow(pol.Name(), fmt.Sprintf("%.4f", a), fmt.Sprintf("%.4f", 1-a))
+	}
+	return writeTable(cfg, w, tb)
+}

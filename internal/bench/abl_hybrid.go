@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/glign/glign/internal/stats"
+	"github.com/glign/glign/internal/systems"
+)
+
+func init() {
+	register(Experiment{
+		ID: "abl-hybrid", Paper: "ablation",
+		Title: "Push-only vs direction-optimized (push/pull hybrid) Glign",
+		Run:   runAblationHybrid,
+	})
+}
+
+// runAblationHybrid compares wall time of the query-oblivious engine with
+// and without pull-mode dense iterations.
+func runAblationHybrid(cfg Config, w io.Writer) error {
+	tb := &stats.Table{
+		Title:  "Direction optimization ablation (Glign-Intra, full buffers)",
+		Header: []string{"graph", "workload", "push-only", "hybrid", "hybrid speedup"},
+	}
+	for _, d := range cfg.graphs() {
+		e := envs.get(d, cfg)
+		for _, wl := range cfg.workloads() {
+			buf, err := bufferFor(e, wl, cfg)
+			if err != nil {
+				return err
+			}
+			push, err := systems.Run(systems.GlignIntra, e.g, buf, systems.Config{
+				BatchSize: cfg.BatchSize, Workers: cfg.Workers, Profile: e.prof,
+			})
+			if err != nil {
+				return err
+			}
+			hybrid, err := systems.Run(systems.GlignIntra, e.g, buf, systems.Config{
+				BatchSize: cfg.BatchSize, Workers: cfg.Workers, Profile: e.prof,
+				DirectionOptimized: true,
+			})
+			if err != nil {
+				return err
+			}
+			tb.AddRow(string(d), wl,
+				stats.FormatDuration(push.Duration.Seconds()),
+				stats.FormatDuration(hybrid.Duration.Seconds()),
+				fmt.Sprintf("%.2fx", push.Duration.Seconds()/hybrid.Duration.Seconds()))
+		}
+	}
+	return writeTable(cfg, w, tb)
+}

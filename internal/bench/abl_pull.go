@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/glign/glign/internal/engine"
+	"github.com/glign/glign/internal/queries"
+	"github.com/glign/glign/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID: "abl-pull", Paper: "ablation",
+		Title: "Push vs pull EdgeMap (the paper's push-model assumption)",
+		Run:   runAblationPull,
+	})
+}
+
+// runAblationPull times single-query evaluation under the push and pull
+// models. Push wins whenever frontiers are sparse relative to |V| — the
+// common case for vertex-specific queries — which is why Glign (like the
+// paper) builds its alignments on the push model.
+func runAblationPull(cfg Config, w io.Writer) error {
+	tb := &stats.Table{
+		Title:  "Push vs pull EdgeMap (single queries, mean over sources)",
+		Header: []string{"graph", "kernel", "push", "pull", "push speedup"},
+	}
+	for _, d := range cfg.graphs() {
+		e := envs.get(d, cfg)
+		rev := e.g.Reverse()
+		nq := 8
+		if nq > len(e.sources) {
+			nq = len(e.sources)
+		}
+		for _, k := range []queries.Kernel{queries.BFS, queries.SSSP} {
+			var pushSec, pullSec float64
+			for i := 0; i < nq; i++ {
+				q := queries.Query{Kernel: k, Source: e.sources[i]}
+				start := time.Now()
+				pushRes := engine.Run(e.g, q, engine.Options{Workers: cfg.Workers})
+				pushSec += time.Since(start).Seconds()
+				start = time.Now()
+				pullRes := engine.RunPull(e.g, rev, q, engine.Options{Workers: cfg.Workers})
+				pullSec += time.Since(start).Seconds()
+				if pushRes.Values[q.Source] != pullRes.Values[q.Source] {
+					return fmt.Errorf("push/pull divergence on %s", q)
+				}
+			}
+			tb.AddRow(string(d), k.Name(),
+				stats.FormatDuration(pushSec/float64(nq)),
+				stats.FormatDuration(pullSec/float64(nq)),
+				fmt.Sprintf("%.2fx", pullSec/pushSec))
+		}
+	}
+	return writeTable(cfg, w, tb)
+}

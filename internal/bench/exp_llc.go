@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/glign/glign/internal/stats"
+	"github.com/glign/glign/internal/systems"
+)
+
+func init() {
+	register(Experiment{
+		ID: "fig1", Paper: "Figure 1",
+		Title: "Simulated LLC misses of concurrent BFS/SSSP (motivating result)",
+		Run:   runFigure1,
+	})
+	register(Experiment{
+		ID: "tab9", Paper: "Table 9",
+		Title: "Simulated LLC misses per method",
+		Run:   runTable9,
+	})
+	register(Experiment{
+		ID: "tab10", Paper: "Table 10",
+		Title: "LLC miss reduction by Glign-Intra (ratio vs Ligra-C)",
+		Run:   llcRatioExperiment(systems.LigraC, systems.GlignIntra),
+	})
+	register(Experiment{
+		ID: "tab12", Paper: "Table 12",
+		Title: "LLC miss reduction by Glign-Inter (ratio vs Glign-Intra)",
+		Run:   llcRatioExperiment(systems.GlignIntra, systems.GlignInter),
+	})
+}
+
+// runFigure1 reproduces the motivating measurement: one batch of concurrent
+// queries through the simulated LLC for Ligra-S, Ligra-C, Krill and Glign.
+func runFigure1(cfg Config, w io.Writer) error {
+	methods := []string{systems.LigraS, systems.LigraC, systems.Krill, systems.Glign}
+	workloads := []string{"BFS", "SSSP"}
+	tb := &stats.Table{
+		Title:  fmt.Sprintf("Figure 1: simulated LLC misses (%d concurrent queries)", cfg.BatchSize),
+		Header: append([]string{"case"}, methods...),
+	}
+	for _, d := range cfg.graphs() {
+		e := envs.get(d, cfg)
+		for _, wl := range workloads {
+			buf, err := bufferFor(e, wl, cfg)
+			if err != nil {
+				return err
+			}
+			row := []string{fmt.Sprintf("%s-%s", d, wl)}
+			for _, m := range methods {
+				misses, err := measureLLC(m, e, buf, cfg)
+				if err != nil {
+					return err
+				}
+				row = append(row, stats.FormatCount(float64(misses)))
+			}
+			tb.AddRow(row...)
+		}
+	}
+	return writeTable(cfg, w, tb)
+}
+
+// runTable9 prints absolute simulated LLC misses for every method on every
+// workload of the configured graphs, with per-graph means.
+func runTable9(cfg Config, w io.Writer) error {
+	methods := []string{systems.LigraS, systems.LigraC, systems.GraphM,
+		systems.Krill, systems.Glign}
+	tb := &stats.Table{
+		Title:  "Table 9: simulated LLC misses",
+		Header: append([]string{"graph", "workload"}, methods...),
+	}
+	for _, d := range cfg.graphs() {
+		e := envs.get(d, cfg)
+		perMethod := map[string][]float64{}
+		for _, wl := range cfg.workloads() {
+			buf, err := bufferFor(e, wl, cfg)
+			if err != nil {
+				return err
+			}
+			row := []string{string(d), wl}
+			for _, m := range methods {
+				misses, err := measureLLC(m, e, buf, cfg)
+				if err != nil {
+					return err
+				}
+				perMethod[m] = append(perMethod[m], float64(misses))
+				row = append(row, stats.FormatCount(float64(misses)))
+			}
+			tb.AddRow(row...)
+		}
+		mean := []string{string(d), "mean"}
+		for _, m := range methods {
+			mean = append(mean, stats.FormatCount(stats.Mean(perMethod[m])))
+		}
+		tb.AddRow(mean...)
+	}
+	return writeTable(cfg, w, tb)
+}
+
+// llcRatioExperiment builds a runner printing misses(num)/misses(den) per
+// cell — the shape of Tables 10 and 12.
+func llcRatioExperiment(den, num string) func(Config, io.Writer) error {
+	return func(cfg Config, w io.Writer) error {
+		tb := &stats.Table{
+			Title:  fmt.Sprintf("LLC misses of %s as a ratio of %s", num, den),
+			Header: append([]string{"workload"}, datasetNames(cfg)...),
+		}
+		var all []float64
+		for _, wl := range cfg.workloads() {
+			row := []string{wl}
+			for _, d := range cfg.graphs() {
+				e := envs.get(d, cfg)
+				buf, err := bufferFor(e, wl, cfg)
+				if err != nil {
+					return err
+				}
+				dm, err := measureLLC(den, e, buf, cfg)
+				if err != nil {
+					return err
+				}
+				nm, err := measureLLC(num, e, buf, cfg)
+				if err != nil {
+					return err
+				}
+				r := 0.0
+				if dm > 0 {
+					r = float64(nm) / float64(dm)
+				}
+				all = append(all, r)
+				row = append(row, fmt.Sprintf("%.0f%%", 100*r))
+			}
+			tb.AddRow(row...)
+		}
+		tb.AddRow("geomean", fmt.Sprintf("%.0f%%", 100*stats.Geomean(all)))
+		return writeTable(cfg, w, tb)
+	}
+}

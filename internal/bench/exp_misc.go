@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/glign/glign/internal/core"
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/stats"
+	"github.com/glign/glign/internal/systems"
+)
+
+func init() {
+	register(Experiment{
+		ID: "tab11", Paper: "Table 11",
+		Title: "Memory footprint breakdown (graph / vertex values / frontier)",
+		Run:   runTable11,
+	})
+	register(Experiment{
+		ID: "tab15", Paper: "Table 15",
+		Title: "Performance on road networks (speedups over Ligra-S)",
+		Run:   runTable15,
+	})
+	register(Experiment{
+		ID: "tab16", Paper: "Table 16",
+		Title: "Comparison with iBFS (concurrent BFS grouping)",
+		Run:   runTable16,
+	})
+}
+
+func formatBytes(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// runTable11 prints the memory breakdown of Ligra-C vs Glign-Intra for one
+// batch, exposing the frontier-footprint collapse of the query-oblivious
+// design.
+func runTable11(cfg Config, w io.Writer) error {
+	engines := []core.Engine{core.LigraC, core.Krill, core.GlignIntra}
+	header := []string{"graph", "structure"}
+	for _, e := range engines {
+		header = append(header, e.Name())
+	}
+	tb := &stats.Table{
+		Title:  fmt.Sprintf("Table 11: memory footprint (%d queries)", cfg.BatchSize),
+		Header: header,
+	}
+	for _, d := range cfg.graphs() {
+		env := envs.get(d, cfg)
+		fps := make([]core.Footprint, len(engines))
+		for i, e := range engines {
+			fps[i] = core.FootprintOf(e, env.g, cfg.BatchSize)
+		}
+		rows := []struct {
+			name string
+			get  func(core.Footprint) int64
+		}{
+			{"graph", func(f core.Footprint) int64 { return f.GraphBytes }},
+			{"vertex values", func(f core.Footprint) int64 { return f.ValueBytes }},
+			{"frontier", func(f core.Footprint) int64 { return f.FrontierBytes }},
+		}
+		for _, r := range rows {
+			row := []string{string(d), r.name}
+			for _, f := range fps {
+				row = append(row, formatBytes(r.get(f)))
+			}
+			tb.AddRow(row...)
+		}
+	}
+	return writeTable(cfg, w, tb)
+}
+
+// runTable15 evaluates the Glign variants on the road networks, where heavy
+// iterations never form and only intra-iteration alignment helps.
+func runTable15(cfg Config, w io.Writer) error {
+	methods := []string{systems.LigraC, systems.GlignIntra, systems.GlignInter,
+		systems.GlignBatch, systems.Glign}
+	workloads := []string{"SSSP", "BFS", "SSWP"}
+	tb := &stats.Table{
+		Title:  "Table 15: road networks, speedups over Ligra-S",
+		Header: append([]string{"graph", "workload", "Ligra-S"}, methods...),
+	}
+	for _, d := range graph.RoadDatasets() {
+		e := envs.get(d, cfg)
+		for _, wl := range workloads {
+			buf, err := bufferFor(e, wl, cfg)
+			if err != nil {
+				return err
+			}
+			base, _, err := runTimed(systems.LigraS, e, buf, cfg)
+			if err != nil {
+				return err
+			}
+			row := []string{string(d), wl, stats.FormatDuration(base.Seconds())}
+			for _, m := range methods {
+				dur, _, err := runTimed(m, e, buf, cfg)
+				if err != nil {
+					return err
+				}
+				row = append(row, fmt.Sprintf("%.2fx", stats.Speedup(base.Seconds(), dur.Seconds())))
+			}
+			tb.AddRow(row...)
+		}
+	}
+	return writeTable(cfg, w, tb)
+}
+
+// runTable16 evaluates a BFS buffer with the iBFS grouping heuristic and
+// reports Glign-Intra's and Glign-Batch's speedups over it.
+func runTable16(cfg Config, w io.Writer) error {
+	tb := &stats.Table{
+		Title:  "Table 16: comparison with iBFS (BFS buffers)",
+		Header: []string{"graph", "iBFS time", "Glign-Intra", "Glign-Batch"},
+	}
+	for _, d := range cfg.graphs() {
+		e := envs.get(d, cfg)
+		buf, err := bufferFor(e, "BFS", cfg)
+		if err != nil {
+			return err
+		}
+		ib, _, err := runTimed(systems.IBFS, e, buf, cfg)
+		if err != nil {
+			return err
+		}
+		intra, _, err := runTimed(systems.GlignIntra, e, buf, cfg)
+		if err != nil {
+			return err
+		}
+		batch, _, err := runTimed(systems.GlignBatch, e, buf, cfg)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(string(d), stats.FormatDuration(ib.Seconds()),
+			fmt.Sprintf("%.2fx", stats.Speedup(ib.Seconds(), intra.Seconds())),
+			fmt.Sprintf("%.2fx", stats.Speedup(ib.Seconds(), batch.Seconds())))
+	}
+	return writeTable(cfg, w, tb)
+}

@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/glign/glign/internal/stats"
+	"github.com/glign/glign/internal/systems"
+)
+
+func init() {
+	register(Experiment{
+		ID: "tab8", Paper: "Table 8",
+		Title: "Time of evaluating a query buffer using Ligra-S",
+		Run:   runTable8,
+	})
+	register(Experiment{
+		ID: "fig11", Paper: "Figure 11",
+		Title: "Overall performance: speedups over Ligra-S",
+		Run:   runFigure11,
+	})
+	register(Experiment{
+		ID: "fig12", Paper: "Figure 12",
+		Title: "Speedups of Glign-Intra over Ligra-C (query-oblivious frontier)",
+		Run:   speedupExperiment(systems.LigraC, systems.GlignIntra),
+	})
+	register(Experiment{
+		ID: "fig13", Paper: "Figure 13",
+		Title: "Speedups of Glign-Inter over Glign-Intra (delayed start)",
+		Run:   speedupExperiment(systems.GlignIntra, systems.GlignInter),
+	})
+	register(Experiment{
+		ID: "fig15", Paper: "Figure 15",
+		Title: "Speedups of Glign-Batch over Glign-Intra (affinity-oriented batching)",
+		Run:   speedupExperiment(systems.GlignIntra, systems.GlignBatch),
+	})
+	register(Experiment{
+		ID: "fig16", Paper: "Figure 16",
+		Title: "Impact of query batch size (speedup over Ligra-S)",
+		Run:   runFigure16,
+	})
+}
+
+// runTable8 prints Ligra-S buffer evaluation times (the baseline all
+// speedups are relative to).
+func runTable8(cfg Config, w io.Writer) error {
+	tb := &stats.Table{Title: "Table 8: Ligra-S time for a buffer of " +
+		fmt.Sprint(cfg.BufferSize) + " queries", Header: append([]string{"workload"}, datasetNames(cfg)...)}
+	for _, wl := range cfg.workloads() {
+		row := []string{wl}
+		for _, d := range cfg.graphs() {
+			e := envs.get(d, cfg)
+			buf, err := bufferFor(e, wl, cfg)
+			if err != nil {
+				return err
+			}
+			dur, _, err := runTimed(systems.LigraS, e, buf, cfg)
+			if err != nil {
+				return err
+			}
+			row = append(row, stats.FormatDuration(dur.Seconds()))
+		}
+		tb.AddRow(row...)
+	}
+	return writeTable(cfg, w, tb)
+}
+
+// runFigure11 prints the speedups of every method over Ligra-S for every
+// graph x workload cell, plus per-method geomeans.
+func runFigure11(cfg Config, w io.Writer) error {
+	methods := []string{systems.LigraC, systems.GraphM, systems.Krill,
+		systems.GlignIntra, systems.GlignInter, systems.GlignBatch, systems.Glign}
+	perMethod := map[string][]float64{}
+	tb := &stats.Table{
+		Title:  "Figure 11: speedups over Ligra-S",
+		Header: append([]string{"graph", "workload"}, methods...),
+	}
+	for _, d := range cfg.graphs() {
+		e := envs.get(d, cfg)
+		for _, wl := range cfg.workloads() {
+			buf, err := bufferFor(e, wl, cfg)
+			if err != nil {
+				return err
+			}
+			base, _, err := runTimed(systems.LigraS, e, buf, cfg)
+			if err != nil {
+				return err
+			}
+			row := []string{string(d), wl}
+			for _, m := range methods {
+				dur, _, err := runTimed(m, e, buf, cfg)
+				if err != nil {
+					return err
+				}
+				s := stats.Speedup(base.Seconds(), dur.Seconds())
+				perMethod[m] = append(perMethod[m], s)
+				row = append(row, fmt.Sprintf("%.2fx", s))
+			}
+			tb.AddRow(row...)
+		}
+	}
+	geo := []string{"geomean", ""}
+	for _, m := range methods {
+		geo = append(geo, fmt.Sprintf("%.2fx", stats.Geomean(perMethod[m])))
+	}
+	tb.AddRow(geo...)
+	return writeTable(cfg, w, tb)
+}
+
+// speedupExperiment builds a runner printing the speedup of method `num`
+// over method `den` for every graph x workload cell (the shape of Figures
+// 12, 13 and 15).
+func speedupExperiment(den, num string) func(Config, io.Writer) error {
+	return func(cfg Config, w io.Writer) error {
+		tb := &stats.Table{
+			Title:  fmt.Sprintf("Speedup of %s over %s", num, den),
+			Header: append([]string{"workload"}, datasetNames(cfg)...),
+		}
+		var all []float64
+		for _, wl := range cfg.workloads() {
+			row := []string{wl}
+			for _, d := range cfg.graphs() {
+				e := envs.get(d, cfg)
+				buf, err := bufferFor(e, wl, cfg)
+				if err != nil {
+					return err
+				}
+				dd, _, err := runTimed(den, e, buf, cfg)
+				if err != nil {
+					return err
+				}
+				nd, _, err := runTimed(num, e, buf, cfg)
+				if err != nil {
+					return err
+				}
+				s := stats.Speedup(dd.Seconds(), nd.Seconds())
+				all = append(all, s)
+				row = append(row, fmt.Sprintf("%.2fx", s))
+			}
+			tb.AddRow(row...)
+		}
+		tb.AddRow("geomean", fmt.Sprintf("%.2fx", stats.Geomean(all)))
+		return writeTable(cfg, w, tb)
+	}
+}
+
+// runFigure16 sweeps the batch size and reports the speedup of full Glign
+// over Ligra-S at each size.
+func runFigure16(cfg Config, w io.Writer) error {
+	sizes := []int{2, 4, 8, 16, 32, 64, 128}
+	var usable []int
+	for _, s := range sizes {
+		if s <= cfg.BufferSize {
+			usable = append(usable, s)
+		}
+	}
+	tb := &stats.Table{Title: "Figure 16: Glign speedup over Ligra-S vs batch size"}
+	tb.Header = []string{"graph", "workload"}
+	for _, s := range usable {
+		tb.Header = append(tb.Header, fmt.Sprintf("B=%d", s))
+	}
+	for _, d := range cfg.graphs() {
+		e := envs.get(d, cfg)
+		for _, wl := range cfg.workloads() {
+			buf, err := bufferFor(e, wl, cfg)
+			if err != nil {
+				return err
+			}
+			row := []string{string(d), wl}
+			for _, bs := range usable {
+				c := cfg
+				c.BatchSize = bs
+				base, _, err := runTimed(systems.LigraS, e, buf, c)
+				if err != nil {
+					return err
+				}
+				dur, _, err := runTimed(systems.Glign, e, buf, c)
+				if err != nil {
+					return err
+				}
+				row = append(row, fmt.Sprintf("%.2fx", stats.Speedup(base.Seconds(), dur.Seconds())))
+			}
+			tb.AddRow(row...)
+		}
+	}
+	return writeTable(cfg, w, tb)
+}
+
+func datasetNames(cfg Config) []string {
+	var out []string
+	for _, d := range cfg.graphs() {
+		out = append(out, string(d))
+	}
+	return out
+}

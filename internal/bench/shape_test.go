@@ -1,0 +1,82 @@
+package bench
+
+// Shape tests: deterministic assertions that the *relative* results the
+// paper reports — who has more simulated LLC misses than whom — hold at
+// test scale. Cache-simulator replays are single-threaded and seeded, so
+// these are exact regression tests, not flaky timing comparisons.
+
+import (
+	"testing"
+
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/systems"
+)
+
+func measureAll(t *testing.T, methods []string, d graph.Dataset, wl string, cfg Config) map[string]int64 {
+	t.Helper()
+	e := envs.get(d, cfg)
+	buf, err := bufferFor(e, wl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]int64{}
+	for _, m := range methods {
+		misses, err := measureLLC(m, e, buf, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if misses <= 0 {
+			t.Fatalf("%s reported %d misses — tracer not wired?", m, misses)
+		}
+		out[m] = misses
+	}
+	return out
+}
+
+// Table 9's ordering: GraphM worst, two-level above Glign, Krill between.
+func TestShapeTable9Ordering(t *testing.T) {
+	cfg := shortCfg()
+	cfg.BufferSize = 32
+	cfg.BatchSize = 32
+	methods := []string{systems.LigraC, systems.GraphM, systems.Krill, systems.Glign}
+	for _, d := range []graph.Dataset{graph.LJ, graph.TW} {
+		m := measureAll(t, methods, d, "SSSP", cfg)
+		if m[systems.Glign] >= m[systems.LigraC] {
+			t.Errorf("%s: Glign misses %d >= Ligra-C %d", d, m[systems.Glign], m[systems.LigraC])
+		}
+		if m[systems.Krill] >= m[systems.LigraC] {
+			t.Errorf("%s: Krill misses %d >= Ligra-C %d", d, m[systems.Krill], m[systems.LigraC])
+		}
+		if m[systems.GraphM] <= m[systems.LigraC] {
+			t.Errorf("%s: GraphM misses %d <= Ligra-C %d (partition-centric should stream more)",
+				d, m[systems.GraphM], m[systems.LigraC])
+		}
+	}
+}
+
+// Table 10's claim: the query-oblivious frontier reduces misses vs the
+// two-level design on every workload.
+func TestShapeTable10AllWorkloads(t *testing.T) {
+	cfg := shortCfg()
+	cfg.BufferSize = 32
+	cfg.BatchSize = 32
+	for _, wl := range []string{"BFS", "SSSP", "SSWP", "SSNP", "Viterbi"} {
+		m := measureAll(t, []string{systems.LigraC, systems.GlignIntra}, graph.TW, wl, cfg)
+		if m[systems.GlignIntra] >= m[systems.LigraC] {
+			t.Errorf("%s: Glign-Intra misses %d >= Ligra-C %d",
+				wl, m[systems.GlignIntra], m[systems.LigraC])
+		}
+	}
+}
+
+// The determinism that makes the above regressions sound.
+func TestShapeMeasurementsDeterministic(t *testing.T) {
+	cfg := shortCfg()
+	cfg.BufferSize = 16
+	cfg.BatchSize = 16
+	a := measureAll(t, []string{systems.Glign}, graph.LJ, "SSSP", cfg)
+	b := measureAll(t, []string{systems.Glign}, graph.LJ, "SSSP", cfg)
+	if a[systems.Glign] != b[systems.Glign] {
+		t.Fatalf("simulated misses not deterministic: %d vs %d", a[systems.Glign], b[systems.Glign])
+	}
+}

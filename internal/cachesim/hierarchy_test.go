@@ -1,0 +1,73 @@
+package cachesim
+
+import "testing"
+
+func TestHierarchyFilter(t *testing.T) {
+	// L1: 2 lines; L2: 8 lines (both fully associative single-set).
+	h := NewHierarchy(
+		Config{SizeBytes: 128, Ways: 2, LineSize: 64},
+		Config{SizeBytes: 512, Ways: 8, LineSize: 64},
+	)
+	// Touch 4 distinct lines twice. First pass: 4 misses at both levels.
+	// Second pass: L1 (2 lines) evicted lines 0,1 -> misses again; but L2
+	// holds all 4 -> L2 sees only the L1 misses and hits them all.
+	for pass := 0; pass < 2; pass++ {
+		for line := int64(0); line < 4; line++ {
+			h.Access(line*64, 8, false)
+		}
+	}
+	l1, l2 := h.Level(0), h.Level(1)
+	if l1.Misses != 8 { // never hits: working set 4 > capacity 2
+		t.Fatalf("L1 misses = %d, want 8", l1.Misses)
+	}
+	if l2.Accesses != 8 { // only L1 misses reach L2
+		t.Fatalf("L2 accesses = %d, want 8", l2.Accesses)
+	}
+	if l2.Misses != 4 || l2.Hits != 4 {
+		t.Fatalf("L2 = %+v, want 4 misses / 4 hits", l2)
+	}
+	if h.MemoryAccesses() != 4 {
+		t.Fatalf("DRAM accesses = %d, want 4", h.MemoryAccesses())
+	}
+}
+
+func TestHierarchyHitStopsPropagation(t *testing.T) {
+	h := NewHierarchy(
+		Config{SizeBytes: 256, Ways: 4, LineSize: 64},
+		Config{SizeBytes: 1024, Ways: 4, LineSize: 64},
+	)
+	h.Access(0, 8, false)
+	h.Access(0, 8, false) // L1 hit: must not reach L2
+	if h.Level(1).Accesses != 1 {
+		t.Fatalf("L2 accesses = %d, want 1", h.Level(1).Accesses)
+	}
+}
+
+func TestHierarchySpanningAccess(t *testing.T) {
+	h := DefaultHierarchy()
+	h.Access(60, 16, true) // spans two lines
+	if h.Level(0).Accesses != 2 {
+		t.Fatalf("L1 accesses = %d, want 2", h.Level(0).Accesses)
+	}
+	if h.Levels() != 2 {
+		t.Fatalf("levels = %d", h.Levels())
+	}
+}
+
+func TestHierarchyReset(t *testing.T) {
+	h := DefaultHierarchy()
+	h.Access(0, 8, false)
+	h.Reset()
+	if h.Level(0).Accesses != 0 || h.MemoryAccesses() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestEmptyHierarchy(t *testing.T) {
+	h := NewHierarchy()
+	h.Access(0, 8, false) // must not panic
+	if h.MemoryAccesses() != 0 {
+		t.Fatal("empty hierarchy reports traffic")
+	}
+	h.Access(0, 0, false)
+}

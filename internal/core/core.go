@@ -1,0 +1,176 @@
+// Package core implements the concurrent batch-evaluation engines at the
+// heart of this reproduction — the paper's primary contribution and its
+// baselines:
+//
+//   - LigraS: queries evaluated one after another (baseline "Ligra-S").
+//   - TwoLevel: unified + per-query separate frontiers (baseline "Ligra-C",
+//     the design of Krill and SimGQ — paper Figure 5-b).
+//   - Krill: a fused variant of the two-level design keeping per-vertex
+//     query bitmasks instead of B separate frontier arrays.
+//   - Oblivious: Glign's query-oblivious frontier (paper Figure 5-c,
+//     §3.2) — a single unified frontier with every active vertex relaxed
+//     for all queries in the batch.
+//
+// All engines share the batch value layout of paper §3.5: one flat array
+// with the value of vertex v for query i at ValArray[v*B+i], and all honor
+// an optional alignment vector (paper Definition 3.3) that delays the start
+// of individual queries to later global iterations — the mechanism of
+// Glign-Inter's "delayed start".
+package core
+
+import (
+	"fmt"
+
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/memtrace"
+	"github.com/glign/glign/internal/queries"
+)
+
+// Options configures a batch evaluation.
+type Options struct {
+	// Workers bounds parallelism; <= 0 means GOMAXPROCS. Runs with a Tracer
+	// are forced single-threaded so the access stream is deterministic.
+	Workers int
+	// Alignment is the alignment vector I (paper Definition 3.3):
+	// Alignment[i] is the global iteration at which query i's evaluation
+	// starts. Nil means all zeros (every query starts immediately).
+	Alignment []int
+	// MaxIterations aborts evaluation when > 0 (tests only; monotone
+	// kernels otherwise reach a fixed point).
+	MaxIterations int
+	// Tracer, when non-nil, receives every simulated memory access.
+	Tracer memtrace.Tracer
+	// ReverseGraph, when non-nil, enables direction optimization in the
+	// query-oblivious engine: dense global iterations run in pull mode over
+	// this edge-reversed graph (see hybrid.go). Other engines and tracing
+	// runs ignore it.
+	ReverseGraph *graph.Graph
+}
+
+// BatchResult is the outcome of evaluating one batch.
+type BatchResult struct {
+	// B is the batch size (number of queries, also the value-array stride).
+	B int
+	// N is the vertex count of the graph.
+	N int
+	// Values is the flat n*B value array (layout: vertex v, query i at
+	// v*B+i).
+	Values *queries.Values
+	// GlobalIterations counts executed global iterations.
+	GlobalIterations int
+	// UnionFrontierSizes records the unified frontier size entering every
+	// global iteration.
+	UnionFrontierSizes []int
+	// EdgesProcessed counts edge visits (per active vertex, per out-edge);
+	// LaneRelaxations counts per-query relaxation attempts on edges. Their
+	// ratio exposes the extra computation the query-oblivious design
+	// trades for locality.
+	EdgesProcessed  int64
+	LaneRelaxations int64
+}
+
+// Value returns the final value of vertex v for query q.
+func (r *BatchResult) Value(q int, v graph.VertexID) queries.Value {
+	return r.Values.Get(int(v)*r.B + q)
+}
+
+// QueryValues copies out the full value vector of query q.
+func (r *BatchResult) QueryValues(q int) []queries.Value {
+	out := make([]queries.Value, r.N)
+	for v := 0; v < r.N; v++ {
+		out[v] = r.Values.Get(v*r.B + q)
+	}
+	return out
+}
+
+// Engine evaluates a batch of concurrent queries on a graph.
+type Engine interface {
+	// Name returns the method name as used in the paper's tables.
+	Name() string
+	// Run evaluates batch on g.
+	Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchResult, error)
+}
+
+// BatchSetup carries the pieces every concurrent engine sets up the same
+// way: per-lane kernels, identities, the flat value array, and the delayed
+// injection schedule. It is exported so the comparator engines in
+// internal/baselines share the exact same batch semantics.
+type BatchSetup struct {
+	B        int
+	N        int
+	Kernels  []queries.Kernel
+	Identity []queries.Value
+	Vals     *queries.Values
+	// Alignment[i] = global iteration at which query i starts; MaxAlign is
+	// the last injection iteration.
+	Alignment []int
+	MaxAlign  int
+	Sources   []graph.VertexID
+}
+
+// PrepareBatch validates a batch against a graph and options and builds its
+// shared state (value array initialized to per-lane identities, injection
+// schedule from the alignment vector).
+func PrepareBatch(g *graph.Graph, batch []queries.Query, opt Options) (*BatchSetup, error) {
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	n := g.NumVertices()
+	b := len(batch)
+	st := &BatchSetup{
+		B:        b,
+		N:        n,
+		Kernels:  make([]queries.Kernel, b),
+		Identity: make([]queries.Value, b),
+		Sources:  make([]graph.VertexID, b),
+	}
+	for i, q := range batch {
+		if int(q.Source) >= n {
+			return nil, fmt.Errorf("core: query %d source v%d out of range (n=%d)", i, q.Source, n)
+		}
+		st.Kernels[i] = q.Kernel
+		st.Identity[i] = q.Kernel.Identity()
+		st.Sources[i] = q.Source
+	}
+	if opt.Alignment != nil {
+		if len(opt.Alignment) != b {
+			return nil, fmt.Errorf("core: alignment vector length %d != batch size %d", len(opt.Alignment), b)
+		}
+		st.Alignment = opt.Alignment
+		for _, a := range st.Alignment {
+			if a < 0 {
+				return nil, fmt.Errorf("core: negative alignment %d", a)
+			}
+			if a > st.MaxAlign {
+				st.MaxAlign = a
+			}
+		}
+	} else {
+		st.Alignment = make([]int, b)
+	}
+	st.Vals = queries.NewValues(n*b, 0)
+	for v := 0; v < n; v++ {
+		base := v * b
+		for i := 0; i < b; i++ {
+			st.Vals.Set(base+i, st.Identity[i])
+		}
+	}
+	return st, nil
+}
+
+// InjectionsAt returns the queries whose evaluation starts at global
+// iteration iter.
+func (st *BatchSetup) InjectionsAt(iter int) []int {
+	var out []int
+	for i, a := range st.Alignment {
+		if a == iter {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// PendingAfter reports whether any query starts strictly after iter.
+func (st *BatchSetup) PendingAfter(iter int) bool {
+	return iter < st.MaxAlign
+}

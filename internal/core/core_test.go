@@ -1,0 +1,331 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/glign/glign/internal/engine"
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/memtrace"
+	"github.com/glign/glign/internal/queries"
+)
+
+// Engines under test. Krill is limited to 64-query batches, which all these
+// tests respect.
+func allEngines() []Engine {
+	return []Engine{LigraS, LigraC, Krill, GlignIntra}
+}
+
+func checkAgainstReference(t *testing.T, g *graph.Graph, batch []queries.Query, e Engine, opt Options) {
+	t.Helper()
+	res, err := e.Run(g, batch, opt)
+	if err != nil {
+		t.Fatalf("%s: %v", e.Name(), err)
+	}
+	for qi, q := range batch {
+		want := engine.ReferenceRun(g, q)
+		for v := 0; v < g.NumVertices(); v++ {
+			if got := res.Value(qi, graph.VertexID(v)); got != want[v] {
+				t.Fatalf("%s: query %d (%s) vertex %d = %v, want %v",
+					e.Name(), qi, q, v, got, want[v])
+			}
+		}
+	}
+}
+
+// Theorem 3.2: the query-oblivious frontier (and every other engine) yields
+// exactly the per-query sequential results, because all kernels are
+// monotone.
+func TestAllEnginesMatchReferencePaperExample(t *testing.T) {
+	g := graph.PaperExample()
+	batch := []queries.Query{
+		{Kernel: queries.SSSP, Source: 1},
+		{Kernel: queries.SSSP, Source: 7},
+		{Kernel: queries.BFS, Source: 0},
+		{Kernel: queries.SSWP, Source: 2},
+		{Kernel: queries.SSNP, Source: 0},
+		{Kernel: queries.Viterbi, Source: 7},
+	}
+	for _, e := range allEngines() {
+		checkAgainstReference(t, g, batch, e, Options{})
+	}
+}
+
+func TestAllEnginesMatchReferenceRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 4; trial++ {
+		cfg := graph.DefaultRMAT(8, 6, int64(500+trial))
+		cfg.Directed = trial%2 == 0
+		g := graph.GenerateRMAT(cfg)
+		var batch []queries.Query
+		kernels := queries.All()
+		for i := 0; i < 12; i++ {
+			batch = append(batch, queries.Query{
+				Kernel: kernels[rng.Intn(len(kernels))],
+				Source: graph.VertexID(rng.Intn(g.NumVertices())),
+			})
+		}
+		for _, e := range allEngines() {
+			checkAgainstReference(t, g, batch, e, Options{Workers: 4})
+		}
+	}
+}
+
+// Delayed start (any alignment vector) must never change results — it only
+// shifts when queries begin (paper §3.3).
+func TestAlignmentDoesNotChangeResults(t *testing.T) {
+	g := graph.MustGenerate(graph.LJ, graph.Tiny)
+	rng := rand.New(rand.NewSource(12))
+	batch := []queries.Query{
+		{Kernel: queries.SSSP, Source: graph.VertexID(rng.Intn(g.NumVertices()))},
+		{Kernel: queries.SSSP, Source: graph.VertexID(rng.Intn(g.NumVertices()))},
+		{Kernel: queries.BFS, Source: graph.VertexID(rng.Intn(g.NumVertices()))},
+		{Kernel: queries.SSWP, Source: graph.VertexID(rng.Intn(g.NumVertices()))},
+	}
+	align := []int{3, 0, 5, 1}
+	for _, e := range allEngines() {
+		if e.Name() == "Ligra-S" {
+			continue // sequential baseline has no global iterations
+		}
+		checkAgainstReference(t, g, batch, e, Options{Alignment: align, Workers: 4})
+	}
+}
+
+// Paper §3.3: on the Figure 3 graph, the batch [sssp(v2), sssp(v8)] with
+// alignment I=[0,0] produces union frontiers of sizes 2,3,5,2,3,1 (Table 2)
+// and with I=[2,0] sizes 1,1,2,3,4,1 (Table 3). The two-level engine tracks
+// exact per-query frontiers, so its union sizes must reproduce these.
+func TestPaperUnionFrontierSizes(t *testing.T) {
+	g := graph.PaperExample()
+	batch := []queries.Query{
+		{Kernel: queries.SSSP, Source: 1}, // sssp(v2)
+		{Kernel: queries.SSSP, Source: 7}, // sssp(v8)
+	}
+	res, err := LigraC.Run(g, batch, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 3, 5, 2, 3, 1}
+	if !equalInts(res.UnionFrontierSizes, want) {
+		t.Fatalf("I=[0,0]: union sizes = %v, want %v", res.UnionFrontierSizes, want)
+	}
+
+	res, err = LigraC.Run(g, batch, Options{Workers: 1, Alignment: []int{2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []int{1, 1, 2, 3, 4, 1}
+	if !equalInts(res.UnionFrontierSizes, want) {
+		t.Fatalf("I=[2,0]: union sizes = %v, want %v", res.UnionFrontierSizes, want)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The oblivious engine performs at least as many lane relaxations per edge
+// as the two-level engine (it ignores per-query frontiers) but touches no
+// separate frontier state — the compute/memory tradeoff of §3.2.
+func TestObliviousDoesMoreLaneWork(t *testing.T) {
+	g := graph.MustGenerate(graph.LJ, graph.Tiny)
+	rng := rand.New(rand.NewSource(13))
+	var batch []queries.Query
+	for i := 0; i < 16; i++ {
+		batch = append(batch, queries.Query{Kernel: queries.SSSP,
+			Source: graph.VertexID(rng.Intn(g.NumVertices()))})
+	}
+	oblivious, err := GlignIntra.Run(g, batch, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoLevel, err := LigraC.Run(g, batch, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oblivious.LaneRelaxations < twoLevel.LaneRelaxations {
+		t.Fatalf("oblivious lane relaxations %d < two-level %d",
+			oblivious.LaneRelaxations, twoLevel.LaneRelaxations)
+	}
+}
+
+func TestKrillRejectsOversizedBatch(t *testing.T) {
+	g := graph.PaperExample()
+	batch := make([]queries.Query, 65)
+	for i := range batch {
+		batch[i] = queries.Query{Kernel: queries.BFS, Source: 0}
+	}
+	if _, err := Krill.Run(g, batch, Options{}); err == nil {
+		t.Fatal("65-query batch accepted by Krill engine")
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	g := graph.PaperExample()
+	for _, e := range allEngines() {
+		if _, err := e.Run(g, nil, Options{}); err == nil {
+			t.Fatalf("%s: empty batch accepted", e.Name())
+		}
+		bad := []queries.Query{{Kernel: queries.BFS, Source: 100}}
+		if _, err := e.Run(g, bad, Options{}); err == nil {
+			t.Fatalf("%s: out-of-range source accepted", e.Name())
+		}
+		b2 := []queries.Query{{Kernel: queries.BFS, Source: 0}}
+		if _, err := e.Run(g, b2, Options{Alignment: []int{1, 2}}); err == nil {
+			t.Fatalf("%s: wrong-length alignment accepted", e.Name())
+		}
+		if _, err := e.Run(g, b2, Options{Alignment: []int{-1}}); err == nil {
+			t.Fatalf("%s: negative alignment accepted", e.Name())
+		}
+	}
+}
+
+func TestQueryValuesAccessor(t *testing.T) {
+	g := graph.PaperExample()
+	batch := []queries.Query{
+		{Kernel: queries.SSSP, Source: 0},
+		{Kernel: queries.BFS, Source: 0},
+	}
+	res, err := GlignIntra.Run(g, batch, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sssp := res.QueryValues(0)
+	wantSSSP := []queries.Value{0, 17, 4, 12, 5, 7, 6, 22, 10}
+	for v, w := range wantSSSP {
+		if sssp[v] != w {
+			t.Fatalf("sssp values = %v, want %v", sssp, wantSSSP)
+		}
+	}
+	bfs := res.QueryValues(1)
+	if bfs[7] != 4 {
+		t.Fatalf("bfs(v8) = %v, want 4", bfs[7])
+	}
+}
+
+func TestTracingDeterministicAndHarmless(t *testing.T) {
+	g := graph.MustGenerate(graph.LJ, graph.Tiny)
+	batch := []queries.Query{
+		{Kernel: queries.SSSP, Source: 3},
+		{Kernel: queries.BFS, Source: 9},
+		{Kernel: queries.SSWP, Source: 21},
+	}
+	for _, e := range allEngines() {
+		var t1, t2 memtrace.CountingTracer
+		r1, err := e.Run(g, batch, Options{Tracer: &t1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := e.Run(g, batch, Options{Tracer: &t2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if t1 != t2 {
+			t.Fatalf("%s: tracing not deterministic: %+v vs %+v", e.Name(), t1, t2)
+		}
+		if t1.Reads == 0 || t1.Writes == 0 {
+			t.Fatalf("%s: tracer saw nothing", e.Name())
+		}
+		// Tracing must not perturb results.
+		plain, err := e.Run(g, batch, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi := range batch {
+			for v := 0; v < g.NumVertices(); v++ {
+				if r1.Value(qi, graph.VertexID(v)) != plain.Value(qi, graph.VertexID(v)) {
+					t.Fatalf("%s: tracing changed results", e.Name())
+				}
+			}
+		}
+		_ = r2
+	}
+}
+
+func TestFootprintOrdering(t *testing.T) {
+	g := graph.MustGenerate(graph.LJ, graph.Tiny)
+	const b = 64
+	fS := FootprintOf(LigraS, g, b)
+	fC := FootprintOf(LigraC, g, b)
+	fK := FootprintOf(Krill, g, b)
+	fG := FootprintOf(GlignIntra, g, b)
+	// Frontier footprint: Ligra-C and Krill both carry per-query activation
+	// state (B bits per vertex — identical size at B=64, where Krill's
+	// advantage is layout, not bytes), while Glign keeps a single unified
+	// frontier (Table 11's shape).
+	if fC.FrontierBytes < fK.FrontierBytes || fK.FrontierBytes <= fG.FrontierBytes {
+		t.Fatalf("frontier bytes C=%d K=%d G=%d violate C >= K > G",
+			fC.FrontierBytes, fK.FrontierBytes, fG.FrontierBytes)
+	}
+	// Ligra-C's separate frontiers are ~B times Glign's single frontier.
+	ratio := float64(fC.FrontierBytes) / float64(fG.FrontierBytes)
+	if ratio < float64(b)/2 {
+		t.Fatalf("frontier ratio %.1f too small for B=%d", ratio, b)
+	}
+	if fS.ValueBytes >= fC.ValueBytes {
+		t.Fatal("sequential baseline should hold one query's values at a time")
+	}
+	if fG.Total() <= 0 || fG.GraphBytes != g.MemoryFootprintBytes() {
+		t.Fatal("footprint totals broken")
+	}
+}
+
+// Property: on random small graphs, for random batches mixing all kernels
+// and random alignment vectors, the oblivious engine equals the two-level
+// engine equals the reference (the full Theorem 3.2 statement).
+func TestQuickTheorem32(t *testing.T) {
+	kernels := queries.All()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		gb := graph.NewBuilder(n, rng.Intn(2) == 0, true)
+		for i := 0; i < 3*n; i++ {
+			gb.AddEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)),
+				graph.Weight(1+rng.Intn(16)))
+		}
+		g := gb.MustBuild()
+		b := 1 + rng.Intn(8)
+		batch := make([]queries.Query, b)
+		align := make([]int, b)
+		for i := range batch {
+			batch[i] = queries.Query{
+				Kernel: kernels[rng.Intn(len(kernels))],
+				Source: graph.VertexID(rng.Intn(n)),
+			}
+			align[i] = rng.Intn(4)
+		}
+		opt := Options{Workers: 2, Alignment: align}
+		ob, err := GlignIntra.Run(g, batch, opt)
+		if err != nil {
+			return false
+		}
+		tl, err := LigraC.Run(g, batch, opt)
+		if err != nil {
+			return false
+		}
+		for qi, q := range batch {
+			want := engine.ReferenceRun(g, q)
+			for v := 0; v < n; v++ {
+				if ob.Value(qi, graph.VertexID(v)) != want[v] {
+					return false
+				}
+				if tl.Value(qi, graph.VertexID(v)) != want[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

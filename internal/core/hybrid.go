@@ -1,0 +1,144 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"github.com/glign/glign/internal/frontier"
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/par"
+	"github.com/glign/glign/internal/queries"
+)
+
+// Direction optimization for the query-oblivious engine — an extension
+// beyond the paper (which assumes the push model throughout): when the
+// unified frontier is dense by Ligra's heuristic, a global iteration runs
+// in *pull* mode over the edge-reversed graph. Each destination vertex
+// scans its in-neighbors for frontier members and pulls improvements into
+// its own lane block; a destination is written by exactly one worker, and
+// its lane block stays cache-resident across all of its in-edges. The
+// fixed point is unchanged (monotone kernels; Theorem 3.2 applies to
+// either direction).
+//
+// Enable by setting Options.ReverseGraph (the alignment profile retains one
+// as Profile.Rev). Tracing runs ignore the optimization so the replayed
+// access stream keeps modelling the paper's push design.
+
+// pullIteration runs one dense global iteration: for every vertex, pull
+// from active in-neighbors across every lane. Returns the next frontier.
+func pullIteration(rev *graph.Graph, st *BatchSetup, kinds []queries.OpKind,
+	cur *frontier.Subset, workers int, res *BatchResult) *frontier.Subset {
+	n, b := st.N, st.B
+	// Homogeneous batches get the fused per-kind loop, as in push mode.
+	homo := kinds[0]
+	for _, kd := range kinds {
+		if kd != homo {
+			homo = queries.OpCustom
+			break
+		}
+	}
+	next := frontier.New(n)
+	par.For(n, workers, 0, func(lo, hi int) {
+		var edges, relaxes int64
+		for d := lo; d < hi; d++ {
+			ins, ws := rev.OutEdges(graph.VertexID(d))
+			dbase := d * b
+			improved := false
+			for j, s := range ins {
+				if !cur.Contains(s) {
+					continue
+				}
+				edges++
+				w := graph.Weight(1)
+				if ws != nil {
+					w = ws[j]
+				}
+				sbase := int(s) * b
+				relaxes += int64(b)
+				if pullEdge(st, homo, kinds, sbase, dbase, w) {
+					improved = true
+				}
+			}
+			if improved {
+				next.AddSync(graph.VertexID(d))
+			}
+		}
+		atomic.AddInt64(&res.EdgesProcessed, edges)
+		atomic.AddInt64(&res.LaneRelaxations, relaxes)
+	})
+	return next
+}
+
+// pullEdge relaxes every lane of one in-edge with the fused fast paths.
+func pullEdge(st *BatchSetup, homo queries.OpKind, kinds []queries.OpKind, sbase, dbase int, w graph.Weight) bool {
+	b := st.B
+	improved := false
+	wv := queries.Value(w)
+	switch homo {
+	case queries.OpBFS:
+		for i := 0; i < b; i++ {
+			if sv := st.Vals.Get(sbase + i); sv != st.Identity[i] && st.Vals.ImproveMin(dbase+i, sv+1) {
+				improved = true
+			}
+		}
+	case queries.OpSSSP:
+		for i := 0; i < b; i++ {
+			if sv := st.Vals.Get(sbase + i); sv != st.Identity[i] && st.Vals.ImproveMin(dbase+i, sv+wv) {
+				improved = true
+			}
+		}
+	case queries.OpSSWP:
+		for i := 0; i < b; i++ {
+			sv := st.Vals.Get(sbase + i)
+			if sv == st.Identity[i] {
+				continue
+			}
+			cand := wv
+			if sv < cand {
+				cand = sv
+			}
+			if st.Vals.ImproveMax(dbase+i, cand) {
+				improved = true
+			}
+		}
+	case queries.OpSSNP:
+		for i := 0; i < b; i++ {
+			sv := st.Vals.Get(sbase + i)
+			if sv == st.Identity[i] {
+				continue
+			}
+			cand := wv
+			if sv > cand {
+				cand = sv
+			}
+			if st.Vals.ImproveMin(dbase+i, cand) {
+				improved = true
+			}
+		}
+	case queries.OpViterbi:
+		for i := 0; i < b; i++ {
+			if sv := st.Vals.Get(sbase + i); sv != st.Identity[i] && st.Vals.ImproveMax(dbase+i, sv/wv) {
+				improved = true
+			}
+		}
+	default:
+		for i := 0; i < b; i++ {
+			sv := st.Vals.Get(sbase + i)
+			if sv == st.Identity[i] {
+				continue
+			}
+			if queries.RelaxImprove(st.Vals, kinds[i], st.Kernels[i], dbase+i, sv, w) {
+				improved = true
+			}
+		}
+	}
+	return improved
+}
+
+// shouldPull applies Ligra's density heuristic to the unified frontier.
+func shouldPull(g *graph.Graph, cur *frontier.Subset) bool {
+	outSum := 0
+	for _, v := range cur.Sparse() {
+		outSum += g.OutDegree(v)
+	}
+	return cur.IsDense(outSum, g.NumEdges())
+}

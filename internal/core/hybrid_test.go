@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/glign/glign/internal/engine"
+	"github.com/glign/glign/internal/frontier"
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/queries"
+)
+
+func TestDirectionOptimizedMatchesReference(t *testing.T) {
+	g := graph.MustGenerate(graph.TW, graph.Tiny)
+	rev := g.Reverse()
+	rng := rand.New(rand.NewSource(51))
+	kernels := queries.All()
+	var batch []queries.Query
+	for i := 0; i < 12; i++ {
+		batch = append(batch, queries.Query{
+			Kernel: kernels[rng.Intn(len(kernels))],
+			Source: graph.VertexID(rng.Intn(g.NumVertices())),
+		})
+	}
+	checkAgainstReference(t, g, batch, GlignIntra, Options{Workers: 4, ReverseGraph: rev})
+}
+
+func TestDirectionOptimizedActuallyPulls(t *testing.T) {
+	// On a dense power-law graph a 16-query batch must trip the density
+	// heuristic in its heavy iterations; the pull path reports its edge
+	// visits through the same counters, so EdgesProcessed changes versus
+	// pure push (pull scans all in-edges of all vertices).
+	g := graph.MustGenerate(graph.TW, graph.Tiny)
+	rev := g.Reverse()
+	var batch []queries.Query
+	for i := 0; i < 16; i++ {
+		batch = append(batch, queries.Query{Kernel: queries.BFS,
+			Source: graph.VertexID(i * 37 % g.NumVertices())})
+	}
+	push, err := GlignIntra.Run(g, batch, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := GlignIntra.Run(g, batch, Options{Workers: 1, ReverseGraph: rev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if push.EdgesProcessed == hybrid.EdgesProcessed {
+		t.Fatal("hybrid run never pulled (edge counters identical)")
+	}
+	// Same fixed point regardless.
+	for qi := range batch {
+		for v := 0; v < g.NumVertices(); v++ {
+			if push.Value(qi, graph.VertexID(v)) != hybrid.Value(qi, graph.VertexID(v)) {
+				t.Fatalf("hybrid diverged at query %d vertex %d", qi, v)
+			}
+		}
+	}
+}
+
+func TestShouldPullHeuristic(t *testing.T) {
+	g := graph.MustGenerate(graph.LJ, graph.Tiny)
+	frontierOf := func(count int) *frontier.Subset {
+		s := frontier.New(g.NumVertices())
+		for v := 0; v < count; v++ {
+			s.Add(graph.VertexID(v))
+		}
+		return s
+	}
+	if shouldPull(g, frontierOf(1)) {
+		t.Fatal("single-vertex frontier classified dense")
+	}
+	if !shouldPull(g, frontierOf(g.NumVertices())) {
+		t.Fatal("full frontier classified sparse")
+	}
+}
+
+// Property: hybrid evaluation equals pure push for random graphs, batches
+// and alignments.
+func TestQuickHybridEqualsPush(t *testing.T) {
+	kernels := queries.All()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		gb := graph.NewBuilder(n, rng.Intn(2) == 0, true)
+		for i := 0; i < 4*n; i++ {
+			gb.AddEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)),
+				graph.Weight(1+rng.Intn(16)))
+		}
+		g := gb.MustBuild()
+		rev := g.Reverse()
+		b := 1 + rng.Intn(6)
+		batch := make([]queries.Query, b)
+		align := make([]int, b)
+		for i := range batch {
+			batch[i] = queries.Query{
+				Kernel: kernels[rng.Intn(len(kernels))],
+				Source: graph.VertexID(rng.Intn(n)),
+			}
+			align[i] = rng.Intn(3)
+		}
+		hybrid, err := GlignIntra.Run(g, batch, Options{Workers: 2, Alignment: align, ReverseGraph: rev})
+		if err != nil {
+			return false
+		}
+		for qi, q := range batch {
+			want := engine.ReferenceRun(g, q)
+			for v := 0; v < n; v++ {
+				if hybrid.Value(qi, graph.VertexID(v)) != want[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

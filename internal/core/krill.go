@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+
+	"github.com/glign/glign/internal/frontier"
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/par"
+	"github.com/glign/glign/internal/queries"
+)
+
+// krill models the Krill system (Chen et al., SC'21): like Ligra-C it
+// tracks per-query activation, but it fuses the B separate frontiers into a
+// per-vertex query bitmask so that a vertex's activation state for all
+// queries shares one cache line, and it processes all active lanes of a
+// vertex in one fused pass over its edges ("kernel fusion" + property-data
+// management). It therefore sits between Ligra-C and Glign-Intra in both
+// frontier footprint and locality, which is where the paper measures it.
+type krill struct{}
+
+// Krill is the fused two-level engine. Batches are limited to 64 queries
+// (one bitmask word), matching the paper's default batch size.
+var Krill Engine = krill{}
+
+func (krill) Name() string { return "Krill" }
+
+func (krill) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchResult, error) {
+	if len(batch) > frontier.MaxQueries {
+		return nil, fmt.Errorf("core: Krill engine supports at most %d queries per batch, got %d",
+			frontier.MaxQueries, len(batch))
+	}
+	st, err := PrepareBatch(g, batch, opt)
+	if err != nil {
+		return nil, err
+	}
+	n, b := st.N, st.B
+	kinds := queries.KindsOf(st.Kernels)
+	res := &BatchResult{B: b, N: n, Values: st.Vals}
+
+	tr := opt.Tracer
+	workers := opt.Workers
+	var addr *TraceAddressing
+	if tr != nil {
+		workers = 1
+		addr = NewTraceAddressing(g, b, LayoutQueryMask)
+	}
+
+	union := frontier.New(n)
+	qm := frontier.NewQueryMask(n)
+
+	for iter := 0; ; iter++ {
+		for _, qi := range st.InjectionsAt(iter) {
+			src := st.Sources[qi]
+			st.Vals.Set(int(src)*b+qi, st.Kernels[qi].SourceValue())
+			qm.Set(src, qi)
+			union.Add(src)
+			if tr != nil {
+				tr.Access(addr.values+int64(int(src)*b+qi)*8, 8, true)
+				tr.Access(addr.qmaskCur+int64(src)*8, 8, true)
+				tr.Access(addr.unionCur+int64(src>>6)*8, 8, true)
+			}
+		}
+		if union.IsEmpty() && !st.PendingAfter(iter) {
+			break
+		}
+		if opt.MaxIterations > 0 && iter >= opt.MaxIterations {
+			break
+		}
+		res.UnionFrontierSizes = append(res.UnionFrontierSizes, union.Count())
+		res.GlobalIterations++
+
+		nextUnion := frontier.New(n)
+		nextQM := frontier.NewQueryMask(n)
+		active := union.Sparse()
+		if tr != nil {
+			TraceRegionScan(tr, addr.unionCur, int64(len(union.Words()))*8)
+		}
+		par.For(len(active), workers, 0, func(lo, hi int) {
+			var edges, relaxes int64
+			for ai := lo; ai < hi; ai++ {
+				v := active[ai]
+				base := int(v) * b
+				mask := qm.Get(v)
+				if tr != nil {
+					tr.Access(addr.qmaskCur+int64(v)*8, 8, false)
+				}
+				if mask == 0 {
+					continue
+				}
+				if tr != nil {
+					tr.Access(addr.offsets+int64(v)*4, 8, false)
+					tr.Access(addr.values+int64(base)*8, int64(b)*8, false)
+				}
+				nbrs, ws := g.OutEdges(v)
+				for j, d := range nbrs {
+					edges++
+					w := graph.Weight(1)
+					if ws != nil {
+						w = ws[j]
+					}
+					dbase := int(d) * b
+					if tr != nil {
+						eo := int64(g.Offsets[v]) + int64(j)
+						addr.TraceEdgeRead(tr, g, eo)
+					}
+					anyImproved := false
+					for m := mask; m != 0; m &= m - 1 {
+						i := bits.TrailingZeros64(m)
+						relaxes++
+						if tr != nil {
+							tr.Access(addr.values+int64(dbase+i)*8, 8, false)
+						}
+						if queries.RelaxImprove(st.Vals, kinds[i], st.Kernels[i], dbase+i, st.Vals.Get(base+i), w) {
+							anyImproved = true
+							nextQM.Set(d, i)
+							nextUnion.AddSync(d)
+							if tr != nil {
+								tr.Access(addr.values+int64(dbase+i)*8, 8, true)
+							}
+						}
+					}
+					if tr != nil && anyImproved {
+						tr.Access(addr.qmaskNext+int64(d)*8, 8, true)
+						tr.Access(addr.unionNext+int64(d>>6)*8, 8, true)
+					}
+				}
+			}
+			atomic.AddInt64(&res.EdgesProcessed, edges)
+			atomic.AddInt64(&res.LaneRelaxations, relaxes)
+		})
+		union = nextUnion
+		qm = nextQM
+		if tr != nil {
+			addr.SwapFrontiers()
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"github.com/glign/glign/internal/engine"
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/queries"
+)
+
+// ligraS evaluates the queries of a batch one after another with the
+// single-query Ligra engine — the paper's "Ligra-S" baseline (Table 5).
+// Each query still runs with full vertex-level parallelism; there is simply
+// no graph-access sharing across queries.
+type ligraS struct{}
+
+// LigraS is the sequential baseline engine.
+var LigraS Engine = ligraS{}
+
+func (ligraS) Name() string { return "Ligra-S" }
+
+func (ligraS) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchResult, error) {
+	st, err := PrepareBatch(g, batch, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &BatchResult{B: st.B, N: st.N, Values: st.Vals}
+	for i, q := range batch {
+		r := engine.Run(g, q, engine.Options{
+			Workers:       opt.Workers,
+			MaxIterations: opt.MaxIterations,
+			Tracer:        opt.Tracer,
+		})
+		for v := 0; v < st.N; v++ {
+			st.Vals.Set(v*st.B+i, r.Values[v])
+		}
+		if r.Iterations > res.GlobalIterations {
+			res.GlobalIterations = r.Iterations
+		}
+		res.EdgesProcessed += r.EdgesTraversed
+		res.LaneRelaxations += r.EdgesTraversed
+		// Union sizes are not meaningful for sequential evaluation; record
+		// the per-query frontier history of the longest query instead.
+		if len(r.FrontierSizes) > len(res.UnionFrontierSizes) {
+			res.UnionFrontierSizes = r.FrontierSizes
+		}
+	}
+	return res, nil
+}

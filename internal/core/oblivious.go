@@ -1,0 +1,244 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"github.com/glign/glign/internal/frontier"
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/par"
+	"github.com/glign/glign/internal/queries"
+)
+
+// oblivious is Glign's query-oblivious frontier engine (paper §3.2,
+// Figure 5-c): a single unified frontier with no per-query activation state.
+// When a vertex is active, it is evaluated for *every* query in the batch —
+// safe because all kernels are monotone (Theorem 3.2); lanes whose source
+// value is still the kernel identity are skipped, which is exact (relaxing
+// an identity can never improve a neighbor) and cheap.
+//
+// With Options.Alignment set, sources are injected at their scheduled global
+// iterations, which is exactly Glign-Inter's "delayed start" (paper §3.3).
+type oblivious struct{}
+
+// GlignIntra is the query-oblivious frontier engine ("Glign-Intra" in the
+// paper's tables; also the execution engine under Glign-Inter, Glign-Batch
+// and full Glign, which differ only in scheduling).
+var GlignIntra Engine = oblivious{}
+
+func (oblivious) Name() string { return "Glign-Intra" }
+
+// laneGroup is a run of batch lanes sharing one kernel kind, so the edge
+// loop can run one fused (devirtualized) relaxation loop per group. A
+// homogeneous batch — the common case — has a single group.
+type laneGroup struct {
+	kind  queries.OpKind
+	lanes []int32
+}
+
+// obliviousScratch is the per-worker state of one EdgeMap pass.
+type obliviousScratch struct {
+	srcVals []queries.Value
+	byKind  [6][]int32 // indexed by OpKind; OpCustom lanes keep interface dispatch
+	groups  []laneGroup
+}
+
+func newObliviousScratch(b int) *obliviousScratch {
+	s := &obliviousScratch{
+		srcVals: make([]queries.Value, b),
+		groups:  make([]laneGroup, 0, 6),
+	}
+	for i := range s.byKind {
+		s.byKind[i] = make([]int32, 0, b)
+	}
+	return s
+}
+
+// collect snapshots the source values of vertex v and groups its
+// non-identity lanes by kernel kind. It returns the number of active lanes.
+func (s *obliviousScratch) collect(st *BatchSetup, kinds []queries.OpKind, base int) int {
+	for i := range s.byKind {
+		s.byKind[i] = s.byKind[i][:0]
+	}
+	total := 0
+	for i := 0; i < st.B; i++ {
+		sv := st.Vals.Get(base + i)
+		s.srcVals[i] = sv
+		if sv != st.Identity[i] {
+			k := kinds[i]
+			s.byKind[k] = append(s.byKind[k], int32(i))
+			total++
+		}
+	}
+	s.groups = s.groups[:0]
+	for k := range s.byKind {
+		if len(s.byKind[k]) > 0 {
+			s.groups = append(s.groups, laneGroup{queries.OpKind(k), s.byKind[k]})
+		}
+	}
+	return total
+}
+
+// relaxGroup runs one fused relaxation loop for a lane group against
+// destination block dbase; it reports whether any lane improved.
+func relaxGroup(st *BatchSetup, s *obliviousScratch, grp laneGroup, dbase int, w graph.Weight) bool {
+	improved := false
+	switch grp.kind {
+	case queries.OpBFS:
+		for _, li := range grp.lanes {
+			if st.Vals.ImproveMin(dbase+int(li), s.srcVals[li]+1) {
+				improved = true
+			}
+		}
+	case queries.OpSSSP:
+		wv := queries.Value(w)
+		for _, li := range grp.lanes {
+			if st.Vals.ImproveMin(dbase+int(li), s.srcVals[li]+wv) {
+				improved = true
+			}
+		}
+	case queries.OpSSWP:
+		wv := queries.Value(w)
+		for _, li := range grp.lanes {
+			cand := wv
+			if s.srcVals[li] < cand {
+				cand = s.srcVals[li]
+			}
+			if st.Vals.ImproveMax(dbase+int(li), cand) {
+				improved = true
+			}
+		}
+	case queries.OpSSNP:
+		wv := queries.Value(w)
+		for _, li := range grp.lanes {
+			cand := wv
+			if s.srcVals[li] > cand {
+				cand = s.srcVals[li]
+			}
+			if st.Vals.ImproveMin(dbase+int(li), cand) {
+				improved = true
+			}
+		}
+	case queries.OpViterbi:
+		wv := queries.Value(w)
+		for _, li := range grp.lanes {
+			if st.Vals.ImproveMax(dbase+int(li), s.srcVals[li]/wv) {
+				improved = true
+			}
+		}
+	default:
+		for _, li := range grp.lanes {
+			i := int(li)
+			if st.Vals.Improve(dbase+i, st.Kernels[i].Relax(s.srcVals[i], w), st.Kernels[i].Better) {
+				improved = true
+			}
+		}
+	}
+	return improved
+}
+
+func (oblivious) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchResult, error) {
+	st, err := PrepareBatch(g, batch, opt)
+	if err != nil {
+		return nil, err
+	}
+	n, b := st.N, st.B
+	kinds := queries.KindsOf(st.Kernels)
+	res := &BatchResult{B: b, N: n, Values: st.Vals}
+
+	tr := opt.Tracer
+	workers := opt.Workers
+	var addr *TraceAddressing
+	if tr != nil {
+		workers = 1
+		addr = NewTraceAddressing(g, b, LayoutUnionOnly)
+	}
+
+	cur := frontier.New(n)
+	for iter := 0; ; iter++ {
+		// Inject queries whose delayed start arrives now.
+		for _, qi := range st.InjectionsAt(iter) {
+			src := st.Sources[qi]
+			st.Vals.Set(int(src)*b+qi, st.Kernels[qi].SourceValue())
+			if tr != nil {
+				tr.Access(addr.ValueAddr(int(src)*b+qi), 8, true)
+			}
+			cur.Add(src)
+		}
+		if cur.IsEmpty() && !st.PendingAfter(iter) {
+			break
+		}
+		if opt.MaxIterations > 0 && iter >= opt.MaxIterations {
+			break
+		}
+		res.UnionFrontierSizes = append(res.UnionFrontierSizes, cur.Count())
+		res.GlobalIterations++
+
+		// Direction optimization: dense iterations pull over the reversed
+		// graph (never under tracing, which models the paper's push design).
+		if tr == nil && opt.ReverseGraph != nil && shouldPull(g, cur) {
+			cur = pullIteration(opt.ReverseGraph, st, kinds, cur, workers, res)
+			continue
+		}
+
+		next := frontier.New(n)
+		active := cur.Sparse()
+		if tr != nil {
+			TraceRegionScan(tr, addr.unionCur, int64(len(cur.Words()))*8)
+		}
+		par.For(len(active), workers, 0, func(lo, hi int) {
+			scratch := newObliviousScratch(b)
+			var edges, relaxes int64
+			for ai := lo; ai < hi; ai++ {
+				v := active[ai]
+				base := int(v) * b
+				// Snapshot the source values once per vertex and group the
+				// non-identity lanes by kernel kind;
+				// ValArray[v*B..v*B+B) is contiguous — the locality the
+				// paper's layout buys.
+				activeLanes := scratch.collect(st, kinds, base)
+				if tr != nil {
+					tr.Access(addr.OffsetAddr(v), 8, false)
+					tr.Access(addr.ValueAddr(base), int64(b)*8, false)
+				}
+				if activeLanes == 0 {
+					continue
+				}
+				nbrs, ws := g.OutEdges(v)
+				for j, d := range nbrs {
+					edges++
+					w := graph.Weight(1)
+					if ws != nil {
+						w = ws[j]
+					}
+					dbase := int(d) * b
+					relaxes += int64(activeLanes)
+					improved := false
+					for _, grp := range scratch.groups {
+						if relaxGroup(st, scratch, grp, dbase, w) {
+							improved = true
+						}
+					}
+					if tr != nil {
+						eo := int64(g.Offsets[v]) + int64(j)
+						addr.TraceEdgeRead(tr, g, eo)
+						// The destination's whole lane block is touched.
+						tr.Access(addr.ValueAddr(dbase), int64(activeLanes)*8, improved)
+					}
+					if improved {
+						if tr != nil {
+							tr.Access(addr.unionNext+int64(d>>6)*8, 8, true)
+						}
+						next.AddSync(d)
+					}
+				}
+			}
+			atomic.AddInt64(&res.EdgesProcessed, edges)
+			atomic.AddInt64(&res.LaneRelaxations, relaxes)
+		})
+		cur = next
+		if tr != nil {
+			addr.SwapFrontiers()
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/memtrace"
+)
+
+// TraceAddressing assigns simulated base addresses to every data structure
+// a concurrent engine touches, so a Tracer can replay the run against a
+// cache model. Regions are page-aligned and disjoint (see memtrace.Layout).
+// It is exported for the comparator engines in internal/baselines.
+type TraceAddressing struct {
+	offsets, targets, weights int64
+	values                    int64
+	unionCur, unionNext       int64
+	// sepCur/sepNext hold per-query frontier bitmap bases (two-level engine).
+	sepCur, sepNext []int64
+	// qmaskCur/qmaskNext hold the per-vertex query-mask arrays (Krill).
+	qmaskCur, qmaskNext int64
+}
+
+// LayoutKind selects which frontier structures an engine owns.
+type LayoutKind int
+
+// The three frontier layouts of the engines.
+const (
+	LayoutUnionOnly LayoutKind = iota // Glign's query-oblivious frontier
+	LayoutTwoLevel                    // union + B separate frontiers (Ligra-C, GraphM)
+	LayoutQueryMask                   // union + per-vertex query masks (Krill)
+)
+
+// NewTraceAddressing lays out the structures of a b-query batch on g for
+// the given frontier layout.
+func NewTraceAddressing(g *graph.Graph, b int, kind LayoutKind) *TraceAddressing {
+	var l memtrace.Layout
+	n := int64(g.NumVertices())
+	m := int64(g.NumEdges())
+	a := &TraceAddressing{
+		offsets: l.Place((n + 1) * 4),
+		targets: l.Place(m * 4),
+	}
+	if g.Weighted() {
+		a.weights = l.Place(m * 4)
+	}
+	a.values = l.Place(n * int64(b) * 8)
+	fwords := (n + 63) / 64 * 8
+	a.unionCur = l.Place(fwords)
+	a.unionNext = l.Place(fwords)
+	switch kind {
+	case LayoutTwoLevel:
+		a.sepCur = make([]int64, b)
+		a.sepNext = make([]int64, b)
+		for i := 0; i < b; i++ {
+			a.sepCur[i] = l.Place(fwords)
+			a.sepNext[i] = l.Place(fwords)
+		}
+	case LayoutQueryMask:
+		a.qmaskCur = l.Place(n * 8)
+		a.qmaskNext = l.Place(n * 8)
+	}
+	return a
+}
+
+// SwapFrontiers flips the cur/next roles after a global iteration.
+func (a *TraceAddressing) SwapFrontiers() {
+	a.unionCur, a.unionNext = a.unionNext, a.unionCur
+	a.sepCur, a.sepNext = a.sepNext, a.sepCur
+	a.qmaskCur, a.qmaskNext = a.qmaskNext, a.qmaskCur
+}
+
+// TraceRegionScan models a sequential full scan of a region (e.g. reading a
+// frontier bitmap to materialize its sparse view).
+func TraceRegionScan(tr memtrace.Tracer, base, size int64) {
+	for off := int64(0); off < size; off += 8 {
+		tr.Access(base+off, 8, false)
+	}
+}
+
+// TraceEdgeRead models reading the CSR entry of edge index eo (target and,
+// when present, weight).
+func (a *TraceAddressing) TraceEdgeRead(tr memtrace.Tracer, g *graph.Graph, eo int64) {
+	tr.Access(a.targets+eo*4, 4, false)
+	if g.Weighted() {
+		tr.Access(a.weights+eo*4, 4, false)
+	}
+}
+
+// ValueAddr returns the simulated address of value cell i (ValArray[i]).
+func (a *TraceAddressing) ValueAddr(i int) int64 { return a.values + int64(i)*8 }
+
+// OffsetAddr returns the address of Offsets[v].
+func (a *TraceAddressing) OffsetAddr(v graph.VertexID) int64 { return a.offsets + int64(v)*4 }
+
+// SepCurWordAddr returns the address of the bitmap word holding vertex v in
+// query q's current separate frontier; SepNextWordAddr the "next" copy.
+func (a *TraceAddressing) SepCurWordAddr(q int, v graph.VertexID) int64 {
+	return a.sepCur[q] + int64(v>>6)*8
+}
+
+// SepNextWordAddr is SepCurWordAddr for the next-iteration frontier.
+func (a *TraceAddressing) SepNextWordAddr(q int, v graph.VertexID) int64 {
+	return a.sepNext[q] + int64(v>>6)*8
+}
+
+// SepCurBase returns the base address of query q's current separate
+// frontier bitmap.
+func (a *TraceAddressing) SepCurBase(q int) int64 { return a.sepCur[q] }

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"github.com/glign/glign/internal/frontier"
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/par"
+	"github.com/glign/glign/internal/queries"
+)
+
+// twoLevel is the unified + separate frontier design of paper Figure 5-b:
+// the synchronized frontier traversal used by Ligra-C (the paper's extended
+// Ligra baseline), Krill and SimGQ. A unified frontier is the OR of B
+// per-query frontiers; traversal walks the unified frontier and, for each
+// active vertex, probes every query's separate frontier to decide which
+// lanes to relax. The B extra bitmap arrays and the two-level checking are
+// exactly the costs Glign's query-oblivious frontier eliminates.
+type twoLevel struct{}
+
+// LigraC is the two-level frontier engine ("Ligra-C" in the paper's tables).
+var LigraC Engine = twoLevel{}
+
+func (twoLevel) Name() string { return "Ligra-C" }
+
+func (twoLevel) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchResult, error) {
+	st, err := PrepareBatch(g, batch, opt)
+	if err != nil {
+		return nil, err
+	}
+	n, b := st.N, st.B
+	kinds := queries.KindsOf(st.Kernels)
+	res := &BatchResult{B: b, N: n, Values: st.Vals}
+
+	tr := opt.Tracer
+	workers := opt.Workers
+	var addr *TraceAddressing
+	if tr != nil {
+		workers = 1
+		addr = NewTraceAddressing(g, b, LayoutTwoLevel)
+	}
+
+	union := frontier.New(n)
+	sep := make([]*frontier.Subset, b)
+	for i := range sep {
+		sep[i] = frontier.New(n)
+	}
+
+	for iter := 0; ; iter++ {
+		for _, qi := range st.InjectionsAt(iter) {
+			src := st.Sources[qi]
+			st.Vals.Set(int(src)*b+qi, st.Kernels[qi].SourceValue())
+			sep[qi].Add(src)
+			union.Add(src)
+			if tr != nil {
+				tr.Access(addr.values+int64(int(src)*b+qi)*8, 8, true)
+				tr.Access(addr.sepCur[qi]+int64(src>>6)*8, 8, true)
+				tr.Access(addr.unionCur+int64(src>>6)*8, 8, true)
+			}
+		}
+		if union.IsEmpty() && !st.PendingAfter(iter) {
+			break
+		}
+		if opt.MaxIterations > 0 && iter >= opt.MaxIterations {
+			break
+		}
+		res.UnionFrontierSizes = append(res.UnionFrontierSizes, union.Count())
+		res.GlobalIterations++
+
+		nextUnion := frontier.New(n)
+		nextSep := make([]*frontier.Subset, b)
+		for i := range nextSep {
+			nextSep[i] = frontier.New(n)
+		}
+		active := union.Sparse()
+		if tr != nil {
+			TraceRegionScan(tr, addr.unionCur, int64(len(union.Words()))*8)
+		}
+		par.For(len(active), workers, 0, func(lo, hi int) {
+			lanes := make([]int32, 0, b)
+			var edges, relaxes int64
+			for ai := lo; ai < hi; ai++ {
+				v := active[ai]
+				base := int(v) * b
+				// Second-level check: probe every query's separate
+				// frontier (B scattered bitmap reads — the cost of the
+				// two-level design).
+				lanes = lanes[:0]
+				for i := 0; i < b; i++ {
+					if tr != nil {
+						tr.Access(addr.sepCur[i]+int64(v>>6)*8, 8, false)
+					}
+					if sep[i].Contains(v) {
+						lanes = append(lanes, int32(i))
+					}
+				}
+				if len(lanes) == 0 {
+					continue
+				}
+				if tr != nil {
+					tr.Access(addr.offsets+int64(v)*4, 8, false)
+					for _, li := range lanes {
+						tr.Access(addr.values+int64(base+int(li))*8, 8, false)
+					}
+				}
+				nbrs, ws := g.OutEdges(v)
+				for j, d := range nbrs {
+					edges++
+					w := graph.Weight(1)
+					if ws != nil {
+						w = ws[j]
+					}
+					dbase := int(d) * b
+					if tr != nil {
+						eo := int64(g.Offsets[v]) + int64(j)
+						addr.TraceEdgeRead(tr, g, eo)
+					}
+					for _, li := range lanes {
+						i := int(li)
+						relaxes++
+						if tr != nil {
+							tr.Access(addr.values+int64(dbase+i)*8, 8, false)
+						}
+						if queries.RelaxImprove(st.Vals, kinds[i], st.Kernels[i], dbase+i, st.Vals.Get(base+i), w) {
+							nextSep[i].AddSync(d)
+							nextUnion.AddSync(d)
+							if tr != nil {
+								tr.Access(addr.values+int64(dbase+i)*8, 8, true)
+								tr.Access(addr.sepNext[i]+int64(d>>6)*8, 8, true)
+								tr.Access(addr.unionNext+int64(d>>6)*8, 8, true)
+							}
+						}
+					}
+				}
+			}
+			atomic.AddInt64(&res.EdgesProcessed, edges)
+			atomic.AddInt64(&res.LaneRelaxations, relaxes)
+		})
+		union = nextUnion
+		sep = nextSep
+		if tr != nil {
+			addr.SwapFrontiers()
+		}
+	}
+	return res, nil
+}

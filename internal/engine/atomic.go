@@ -1,0 +1,10 @@
+package engine
+
+import "sync/atomic"
+
+// atomicAdd accumulates per-worker counters into shared statistics.
+func atomicAdd(addr *int64, delta int64) {
+	if delta != 0 {
+		atomic.AddInt64(addr, delta)
+	}
+}

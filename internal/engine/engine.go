@@ -1,0 +1,178 @@
+// Package engine implements a Ligra-style single-query evaluation engine:
+// iterative push-model EdgeMap over a frontier until the fixed point, with
+// vertex-level parallelism. It is the substrate on which the concurrent
+// engines in internal/core are built, the baseline "Ligra" of the paper, and
+// the BFS workhorse of the inter-iteration alignment precompute.
+package engine
+
+import (
+	"github.com/glign/glign/internal/frontier"
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/memtrace"
+	"github.com/glign/glign/internal/par"
+	"github.com/glign/glign/internal/queries"
+)
+
+// Options configures a run.
+type Options struct {
+	// Workers bounds parallelism; <= 0 means GOMAXPROCS. Tracing runs are
+	// forced single-threaded for deterministic access order.
+	Workers int
+	// MaxIterations stops evaluation early when > 0 (monotone kernels
+	// otherwise run to their natural fixed point).
+	MaxIterations int
+	// Tracer, when non-nil, receives every memory access of the run.
+	Tracer memtrace.Tracer
+	// RecordFrontiers retains the frontier subset of every iteration in
+	// Result.Frontiers (used by the affinity analyses of internal/align).
+	RecordFrontiers bool
+}
+
+// Result carries the outcome of a single-query evaluation.
+type Result struct {
+	// Values holds the final value of every vertex (Identity where
+	// unreached).
+	Values []queries.Value
+	// Iterations is the number of executed iterations (EdgeMap rounds).
+	Iterations int
+	// FrontierSizes records |frontier| entering each iteration;
+	// FrontierSizes[0] == 1 (the source). This is the raw material of the
+	// paper's Figure 7.
+	FrontierSizes []int
+	// EdgesTraversed counts relaxation attempts; VerticesProcessed counts
+	// active-vertex visits.
+	EdgesTraversed    int64
+	VerticesProcessed int64
+	// Frontiers holds the frontier of each iteration when
+	// Options.RecordFrontiers is set (Frontiers[j] enters iteration j).
+	Frontiers []*frontier.Subset
+}
+
+// addressing captures the simulated memory layout of a run for tracing.
+type addressing struct {
+	offsets, targets, weights, values, curFront, nextFront int64
+}
+
+func layoutFor(g *graph.Graph) addressing {
+	var l memtrace.Layout
+	n := int64(g.NumVertices())
+	m := int64(g.NumEdges())
+	a := addressing{
+		offsets: l.Place((n + 1) * 4),
+		targets: l.Place(m * 4),
+	}
+	if g.Weighted() {
+		a.weights = l.Place(m * 4)
+	}
+	a.values = l.Place(n * 8)
+	a.curFront = l.Place((n + 63) / 64 * 8)
+	a.nextFront = l.Place((n + 63) / 64 * 8)
+	return a
+}
+
+// Run evaluates the query q on g to its fixed point and returns the result.
+func Run(g *graph.Graph, q queries.Query, opt Options) *Result {
+	n := g.NumVertices()
+	k := q.Kernel
+	kind := queries.KindOf(k)
+	vals := queries.NewValues(n, k.Identity())
+	vals.Set(int(q.Source), k.SourceValue())
+
+	cur := frontier.FromVertices(n, q.Source)
+	res := &Result{}
+
+	tr := opt.Tracer
+	workers := opt.Workers
+	if tr != nil {
+		workers = 1
+	}
+	var addr addressing
+	if tr != nil {
+		addr = layoutFor(g)
+	}
+
+	for iter := 0; !cur.IsEmpty(); iter++ {
+		if opt.MaxIterations > 0 && iter >= opt.MaxIterations {
+			break
+		}
+		res.FrontierSizes = append(res.FrontierSizes, cur.Count())
+		if opt.RecordFrontiers {
+			res.Frontiers = append(res.Frontiers, cur)
+		}
+		next := frontier.New(n)
+		active := cur.Sparse()
+		if tr != nil {
+			// Materializing the sparse view scans the frontier bitmap.
+			traceScan(tr, addr.curFront, int64(len(cur.Words()))*8)
+		}
+		par.For(len(active), workers, 0, func(lo, hi int) {
+			var edges, verts int64
+			for i := lo; i < hi; i++ {
+				v := active[i]
+				verts++
+				if tr != nil {
+					tr.Access(addr.offsets+int64(v)*4, 8, false)
+					tr.Access(addr.values+int64(v)*8, 8, false)
+				}
+				sv := vals.Get(int(v))
+				nbrs, ws := g.OutEdges(v)
+				for j, d := range nbrs {
+					edges++
+					w := graph.Weight(1)
+					if ws != nil {
+						w = ws[j]
+					}
+					if tr != nil {
+						eo := int64(g.Offsets[v]) + int64(j)
+						tr.Access(addr.targets+eo*4, 4, false)
+						if ws != nil {
+							tr.Access(addr.weights+eo*4, 4, false)
+						}
+						tr.Access(addr.values+int64(d)*8, 8, false)
+					}
+					if queries.RelaxImprove(vals, kind, k, int(d), sv, w) {
+						if tr != nil {
+							tr.Access(addr.values+int64(d)*8, 8, true)
+							tr.Access(addr.nextFront+int64(d>>6)*8, 8, true)
+						}
+						next.AddSync(d)
+					}
+				}
+			}
+			atomicAdd(&res.EdgesTraversed, edges)
+			atomicAdd(&res.VerticesProcessed, verts)
+		})
+		res.Iterations++
+		cur = next
+		if tr != nil {
+			addr.curFront, addr.nextFront = addr.nextFront, addr.curFront
+		}
+	}
+	res.Values = vals.Snapshot()
+	return res
+}
+
+// traceScan issues sequential 8-byte reads across a region, modelling a
+// bitmap scan.
+func traceScan(tr memtrace.Tracer, base, size int64) {
+	for off := int64(0); off < size; off += 8 {
+		tr.Access(base+off, 8, false)
+	}
+}
+
+// BFSHops runs an unweighted BFS from src and returns the hop count of every
+// vertex as int32 (-1 where unreachable). It is the precompute primitive of
+// inter-iteration alignment (paper Figure 9 line 5: leastHops via bfs on the
+// reversed graph).
+func BFSHops(g *graph.Graph, src graph.VertexID, workers int) []int32 {
+	res := Run(g, queries.Query{Kernel: queries.BFS, Source: src}, Options{Workers: workers})
+	hops := make([]int32, len(res.Values))
+	for i, v := range res.Values {
+		if v == queries.BFS.Identity() {
+			hops[i] = -1
+		} else {
+			hops[i] = int32(v)
+		}
+	}
+	return hops
+}

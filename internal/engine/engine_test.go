@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/memtrace"
+	"github.com/glign/glign/internal/queries"
+)
+
+// Table 1 of the paper: sssp(v1) on the Figure 3 graph.
+func TestPaperTable1SSSPValues(t *testing.T) {
+	g := graph.PaperExample()
+	res := Run(g, queries.Query{Kernel: queries.SSSP, Source: 0}, Options{})
+	want := []queries.Value{0, 17, 4, 12, 5, 7, 6, 22, 10}
+	for i, w := range want {
+		if res.Values[i] != w {
+			t.Fatalf("dist(v%d) = %v, want %v (full: %v)", i+1, res.Values[i], w, res.Values)
+		}
+	}
+	// Table 1 shows frontiers for iterations 0..4 then empty: 5 EdgeMap rounds.
+	if res.Iterations != 5 {
+		t.Fatalf("iterations = %d, want 5", res.Iterations)
+	}
+	wantSizes := []int{1, 1, 4, 2, 1}
+	for i, s := range wantSizes {
+		if res.FrontierSizes[i] != s {
+			t.Fatalf("frontier sizes = %v, want %v", res.FrontierSizes, wantSizes)
+		}
+	}
+}
+
+// Table 2 frontier sizes for sssp(v2) and sssp(v8).
+func TestPaperTable2FrontierSizes(t *testing.T) {
+	g := graph.PaperExample()
+	r2 := Run(g, queries.Query{Kernel: queries.SSSP, Source: 1}, Options{})
+	if got, want := r2.FrontierSizes, []int{1, 2, 4, 1}; !equalInts(got, want) {
+		t.Fatalf("sssp(v2) frontier sizes = %v, want %v", got, want)
+	}
+	r8 := Run(g, queries.Query{Kernel: queries.SSSP, Source: 7}, Options{})
+	if got, want := r8.FrontierSizes, []int{1, 1, 2, 2, 3, 1}; !equalInts(got, want) {
+		t.Fatalf("sssp(v8) frontier sizes = %v, want %v", got, want)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBFSOnPaperExample(t *testing.T) {
+	g := graph.PaperExample()
+	res := Run(g, queries.Query{Kernel: queries.BFS, Source: 0}, Options{})
+	want := []queries.Value{0, 3, 1, 2, 2, 2, 2, 4, 3}
+	for i, w := range want {
+		if res.Values[i] != w {
+			t.Fatalf("level(v%d) = %v, want %v", i+1, res.Values[i], w)
+		}
+	}
+}
+
+func TestUnreachableStaysIdentity(t *testing.T) {
+	// v1 has no in-edges, so from v2 it must remain at identity.
+	g := graph.PaperExample()
+	res := Run(g, queries.Query{Kernel: queries.SSSP, Source: 1}, Options{})
+	if !math.IsInf(res.Values[0], 1) {
+		t.Fatalf("dist(v1) = %v, want +Inf", res.Values[0])
+	}
+}
+
+func TestAllKernelsMatchReferenceOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		cfg := graph.DefaultRMAT(8, 6, int64(100+trial))
+		cfg.Directed = trial%2 == 0
+		g := graph.GenerateRMAT(cfg)
+		src := graph.VertexID(rng.Intn(g.NumVertices()))
+		for _, k := range queries.All() {
+			q := queries.Query{Kernel: k, Source: src}
+			got := Run(g, q, Options{}).Values
+			want := ReferenceRun(g, q)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("trial %d %s src=%d: v%d = %v, want %v",
+						trial, k.Name(), src, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	g := graph.MustGenerate(graph.LJ, graph.Tiny)
+	q := queries.Query{Kernel: queries.SSSP, Source: 7}
+	serial := Run(g, q, Options{Workers: 1}).Values
+	parallel := Run(g, q, Options{Workers: 8}).Values
+	for v := range serial {
+		if serial[v] != parallel[v] {
+			t.Fatalf("v%d: serial %v != parallel %v", v, serial[v], parallel[v])
+		}
+	}
+}
+
+func TestMaxIterationsTruncates(t *testing.T) {
+	g := graph.PaperExample()
+	res := Run(g, queries.Query{Kernel: queries.SSSP, Source: 0}, Options{MaxIterations: 2})
+	if res.Iterations != 2 {
+		t.Fatalf("iterations = %d, want 2", res.Iterations)
+	}
+	// v8 is 4 hops out; must still be at identity.
+	if !math.IsInf(res.Values[7], 1) {
+		t.Fatalf("dist(v8) = %v after 2 iterations", res.Values[7])
+	}
+}
+
+func TestEdgeAndVertexCounters(t *testing.T) {
+	g := graph.PaperExample()
+	res := Run(g, queries.Query{Kernel: queries.SSSP, Source: 0}, Options{})
+	// Iterations process frontiers {v1},{v3},{v4..v7},{v2,v9},{v8}:
+	// vertices 1+1+4+2+1 = 9, edges = sum of their out-degrees.
+	if res.VerticesProcessed != 9 {
+		t.Fatalf("vertices processed = %d, want 9", res.VerticesProcessed)
+	}
+	wantEdges := int64(1 + 4 + (2 + 1 + 1 + 1) + (2 + 1) + 1)
+	if res.EdgesTraversed != wantEdges {
+		t.Fatalf("edges traversed = %d, want %d", res.EdgesTraversed, wantEdges)
+	}
+}
+
+func TestTracerReceivesAccesses(t *testing.T) {
+	g := graph.PaperExample()
+	var ct memtrace.CountingTracer
+	res := Run(g, queries.Query{Kernel: queries.SSSP, Source: 0}, Options{Tracer: &ct, Workers: 8})
+	if ct.Reads == 0 || ct.Writes == 0 {
+		t.Fatalf("tracer saw reads=%d writes=%d", ct.Reads, ct.Writes)
+	}
+	// Tracing must not change results.
+	plain := Run(g, queries.Query{Kernel: queries.SSSP, Source: 0}, Options{})
+	for v := range plain.Values {
+		if res.Values[v] != plain.Values[v] {
+			t.Fatal("tracing changed results")
+		}
+	}
+	// Writes include one value write + one frontier write per activation:
+	// 8 reachable vertices activate at least once.
+	if ct.Writes < 16 {
+		t.Fatalf("writes = %d, want >= 16", ct.Writes)
+	}
+}
+
+func TestBFSHops(t *testing.T) {
+	g := graph.PaperExample()
+	hops := BFSHops(g, 0, 1)
+	want := []int32{0, 3, 1, 2, 2, 2, 2, 4, 3}
+	for i, w := range want {
+		if hops[i] != w {
+			t.Fatalf("hops[v%d] = %d, want %d", i+1, hops[i], w)
+		}
+	}
+	// From v2, v1 is unreachable.
+	hops = BFSHops(g, 1, 1)
+	if hops[0] != -1 {
+		t.Fatalf("hops[v1] = %d, want -1", hops[0])
+	}
+}
+
+// Property: on arbitrary random graphs the engine's fixed point equals the
+// reference for a random kernel/source (Theorem of label-correcting
+// equivalence; also exercises CAS paths under the race detector).
+func TestQuickEngineEqualsReference(t *testing.T) {
+	kernels := queries.All()
+	f := func(seed int64, ki uint8, srcRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		b := graph.NewBuilder(n, rng.Intn(2) == 0, true)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)),
+				graph.Weight(1+rng.Intn(16)))
+		}
+		g := b.MustBuild()
+		k := kernels[int(ki)%len(kernels)]
+		src := graph.VertexID(int(srcRaw) % n)
+		q := queries.Query{Kernel: k, Source: src}
+		got := Run(g, q, Options{Workers: 4}).Values
+		want := ReferenceRun(g, q)
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

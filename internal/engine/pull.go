@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"github.com/glign/glign/internal/frontier"
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/par"
+	"github.com/glign/glign/internal/queries"
+)
+
+// RunPull evaluates q with the pull model (paper §2.1): in every iteration
+// each vertex scans its *in*-neighbors and pulls improvements from the ones
+// on the frontier, instead of active vertices pushing to out-neighbors. rev
+// must be g.Reverse() (callers typically hold it already for the alignment
+// profile). The fixed point is identical to Run's; the access pattern is
+// not, which is why the paper's alignment analysis assumes push and this
+// implementation exists as an ablation (see the abl-pull experiment).
+//
+// Pull's advantage is that each vertex has a single writer, so no CAS is
+// needed on the value array; its cost is scanning in-neighbors of every
+// vertex each iteration (Ligra mitigates this with dense/sparse switching;
+// here pull is always dense, which is the regime where Ligra uses it).
+func RunPull(g, rev *graph.Graph, q queries.Query, opt Options) *Result {
+	n := g.NumVertices()
+	k := q.Kernel
+	kind := queries.KindOf(k)
+	vals := queries.NewValues(n, k.Identity())
+	vals.Set(int(q.Source), k.SourceValue())
+
+	cur := frontier.FromVertices(n, q.Source)
+	res := &Result{}
+	workers := opt.Workers
+
+	for iter := 0; !cur.IsEmpty(); iter++ {
+		if opt.MaxIterations > 0 && iter >= opt.MaxIterations {
+			break
+		}
+		res.FrontierSizes = append(res.FrontierSizes, cur.Count())
+		if opt.RecordFrontiers {
+			res.Frontiers = append(res.Frontiers, cur)
+		}
+		next := frontier.New(n)
+		par.For(n, workers, 0, func(lo, hi int) {
+			var edges, verts int64
+			for d := lo; d < hi; d++ {
+				ins, ws := rev.OutEdges(graph.VertexID(d))
+				improved := false
+				for j, s := range ins {
+					if !cur.Contains(s) {
+						continue
+					}
+					edges++
+					w := graph.Weight(1)
+					if ws != nil {
+						w = ws[j]
+					}
+					if queries.RelaxImprove(vals, kind, k, d, vals.Get(int(s)), w) {
+						improved = true
+					}
+				}
+				if improved {
+					verts++
+					next.AddSync(graph.VertexID(d))
+				}
+			}
+			atomicAdd(&res.EdgesTraversed, edges)
+			atomicAdd(&res.VerticesProcessed, verts)
+		})
+		res.Iterations++
+		cur = next
+	}
+	res.Values = vals.Snapshot()
+	return res
+}

@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/queries"
+)
+
+func TestPullMatchesPushPaperExample(t *testing.T) {
+	g := graph.PaperExample()
+	rev := g.Reverse()
+	for _, k := range queries.All() {
+		for src := 0; src < g.NumVertices(); src++ {
+			q := queries.Query{Kernel: k, Source: graph.VertexID(src)}
+			push := Run(g, q, Options{}).Values
+			pull := RunPull(g, rev, q, Options{}).Values
+			for v := range push {
+				if push[v] != pull[v] {
+					t.Fatalf("%s(v%d): push %v != pull %v at v%d",
+						k.Name(), src+1, push[v], pull[v], v+1)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickPullEqualsPush(t *testing.T) {
+	kernels := queries.All()
+	f := func(seed int64, ki uint8, srcRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		b := graph.NewBuilder(n, rng.Intn(2) == 0, true)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)),
+				graph.Weight(1+rng.Intn(16)))
+		}
+		g := b.MustBuild()
+		q := queries.Query{
+			Kernel: kernels[int(ki)%len(kernels)],
+			Source: graph.VertexID(int(srcRaw) % n),
+		}
+		push := Run(g, q, Options{Workers: 2}).Values
+		pull := RunPull(g, g.Reverse(), q, Options{Workers: 2}).Values
+		for v := range push {
+			if push[v] != pull[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPullCounters(t *testing.T) {
+	g := graph.PaperExample()
+	res := RunPull(g, g.Reverse(), queries.Query{Kernel: queries.BFS, Source: 0}, Options{Workers: 1})
+	if res.Iterations == 0 || res.EdgesTraversed == 0 {
+		t.Fatalf("counters empty: %+v", res)
+	}
+	if len(res.FrontierSizes) != res.Iterations {
+		t.Fatal("frontier sizes not recorded per iteration")
+	}
+}

@@ -1,0 +1,172 @@
+// Package frontier implements the VertexSubset abstraction of Ligra-style
+// engines: the set of active vertices of one iteration. A Subset is a dense
+// bitmap with an optional cached sparse (vertex list) view; insertion is
+// race-free via CAS so that a parallel EdgeMap can build the next frontier
+// concurrently.
+//
+// Glign's query-oblivious frontier (paper §3.2) is a single Subset shared by
+// every query in the batch; the two-level design it replaces (Ligra-C,
+// Krill, SimGQ) additionally keeps one Subset — or a per-vertex query
+// bitmask, see QueryMask — per query.
+package frontier
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"github.com/glign/glign/internal/graph"
+)
+
+// Subset is a set of vertices out of a universe of n. The zero value is not
+// usable; construct with New.
+type Subset struct {
+	n     int
+	words []uint64
+	count atomic.Int64
+
+	// sparse caches the materialized vertex list; it is invalidated by any
+	// mutation. Only valid when sparseOK.
+	sparse   []graph.VertexID
+	sparseOK bool
+}
+
+// New returns an empty subset over n vertices.
+func New(n int) *Subset {
+	return &Subset{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// FromVertices returns a subset containing exactly vs.
+func FromVertices(n int, vs ...graph.VertexID) *Subset {
+	s := New(n)
+	for _, v := range vs {
+		s.Add(v)
+	}
+	return s
+}
+
+// Universe returns n, the size of the vertex universe.
+func (s *Subset) Universe() int { return s.n }
+
+// Words exposes the underlying bitmap (read-only for callers).
+func (s *Subset) Words() []uint64 { return s.words }
+
+// WordsBytes returns the bitmap footprint in bytes (used by the Table 11
+// memory-footprint experiment).
+func (s *Subset) WordsBytes() int64 { return int64(len(s.words)) * 8 }
+
+// Add inserts v without synchronization. It reports whether v was newly
+// inserted. Use AddSync from concurrent writers.
+func (s *Subset) Add(v graph.VertexID) bool {
+	w, b := v>>6, uint64(1)<<(v&63)
+	if s.words[w]&b != 0 {
+		return false
+	}
+	s.words[w] |= b
+	s.count.Add(1)
+	s.sparseOK = false
+	return true
+}
+
+// AddSync inserts v with a CAS loop, safe for concurrent use. It reports
+// whether v was newly inserted (exactly one concurrent caller wins).
+func (s *Subset) AddSync(v graph.VertexID) bool {
+	w, b := v>>6, uint64(1)<<(v&63)
+	addr := &s.words[w]
+	for {
+		old := atomic.LoadUint64(addr)
+		if old&b != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(addr, old, old|b) {
+			s.count.Add(1)
+			return true
+		}
+	}
+}
+
+// Contains reports whether v is in the subset. It is safe to call
+// concurrently with AddSync (readers may observe a slightly stale view, as
+// in Ligra).
+func (s *Subset) Contains(v graph.VertexID) bool {
+	return atomic.LoadUint64(&s.words[v>>6])&(uint64(1)<<(v&63)) != 0
+}
+
+// Count returns the number of vertices in the subset.
+func (s *Subset) Count() int { return int(s.count.Load()) }
+
+// IsEmpty reports whether the subset is empty.
+func (s *Subset) IsEmpty() bool { return s.Count() == 0 }
+
+// Clear removes all vertices, retaining capacity.
+func (s *Subset) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	s.count.Store(0)
+	s.sparse = s.sparse[:0]
+	s.sparseOK = false
+}
+
+// Clone returns an independent copy.
+func (s *Subset) Clone() *Subset {
+	c := New(s.n)
+	copy(c.words, s.words)
+	c.count.Store(s.count.Load())
+	return c
+}
+
+// UnionWith adds every vertex of o into s (single-threaded).
+func (s *Subset) UnionWith(o *Subset) {
+	total := 0
+	for i := range s.words {
+		s.words[i] |= o.words[i]
+		total += bits.OnesCount64(s.words[i])
+	}
+	s.count.Store(int64(total))
+	s.sparseOK = false
+}
+
+// OverlapCount returns |s ∩ o|.
+func (s *Subset) OverlapCount(o *Subset) int {
+	total := 0
+	for i := range s.words {
+		total += bits.OnesCount64(s.words[i] & o.words[i])
+	}
+	return total
+}
+
+// Sparse returns the sorted list of member vertices, materializing and
+// caching it on first use. The returned slice must not be modified. Not safe
+// to call concurrently with mutation.
+func (s *Subset) Sparse() []graph.VertexID {
+	if s.sparseOK {
+		return s.sparse
+	}
+	s.sparse = s.sparse[:0]
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			s.sparse = append(s.sparse, graph.VertexID(wi*64+b))
+			w &^= 1 << b
+		}
+	}
+	s.sparseOK = true
+	return s.sparse
+}
+
+// ForEach invokes fn for each member vertex in increasing order.
+func (s *Subset) ForEach(fn func(v graph.VertexID)) {
+	for _, v := range s.Sparse() {
+		fn(v)
+	}
+}
+
+// DenseThreshold is the Ligra-style switch point: a frontier is "dense" when
+// the sum of member count and their out-degrees exceeds |E|/DenseDivisor.
+// Exported so engines and tests can reason about the mode.
+const DenseDivisor = 20
+
+// IsDense applies the Ligra heuristic given the total out-degree of members.
+func (s *Subset) IsDense(outDegreeSum, numEdges int) bool {
+	return s.Count()+outDegreeSum > numEdges/DenseDivisor
+}

@@ -1,0 +1,71 @@
+package graph
+
+// Weakly connected components, used to sanity-check generated graphs, to
+// interpret unreachable-hub sources in the workload sampler, and by the
+// glign-gen statistics output.
+
+// Components labels every vertex with its weakly-connected-component id
+// (edges treated as undirected) and returns the labels plus the component
+// count. Labels are dense in [0, count), assigned in order of first
+// discovery.
+func Components(g *Graph) ([]int32, int) {
+	n := g.NumVertices()
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	rev := g.Reverse()
+	next := int32(0)
+	var queue []VertexID
+	for s := 0; s < n; s++ {
+		if labels[s] >= 0 {
+			continue
+		}
+		labels[s] = next
+		queue = append(queue[:0], VertexID(s))
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, u := range g.OutNeighbors(v) {
+				if labels[u] < 0 {
+					labels[u] = next
+					queue = append(queue, u)
+				}
+			}
+			for _, u := range rev.OutNeighbors(v) {
+				if labels[u] < 0 {
+					labels[u] = next
+					queue = append(queue, u)
+				}
+			}
+		}
+		next++
+	}
+	return labels, int(next)
+}
+
+// LargestComponent returns the vertices of the largest weakly connected
+// component, in increasing id order.
+func LargestComponent(g *Graph) []VertexID {
+	labels, count := Components(g)
+	if count == 0 {
+		return nil
+	}
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	best := 0
+	for c := 1; c < count; c++ {
+		if sizes[c] > sizes[best] {
+			best = c
+		}
+	}
+	out := make([]VertexID, 0, sizes[best])
+	for v, l := range labels {
+		if int(l) == best {
+			out = append(out, VertexID(v))
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"math/rand"
+)
+
+func TestComponentsSingle(t *testing.T) {
+	g := PaperExample()
+	labels, count := Components(g)
+	if count != 1 {
+		t.Fatalf("components = %d, want 1", count)
+	}
+	for v, l := range labels {
+		if l != 0 {
+			t.Fatalf("v%d label %d", v, l)
+		}
+	}
+	if len(LargestComponent(g)) != 9 {
+		t.Fatal("largest component should cover the graph")
+	}
+}
+
+func TestComponentsDisconnected(t *testing.T) {
+	b := NewBuilder(7, true, false)
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(1, 2, 0)
+	b.AddEdge(4, 5, 0)
+	// vertices 3 and 6 are isolated
+	g := b.MustBuild()
+	labels, count := Components(g)
+	if count != 4 {
+		t.Fatalf("components = %d, want 4", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatal("chain not one component")
+	}
+	if labels[4] != labels[5] {
+		t.Fatal("pair not one component")
+	}
+	if labels[3] == labels[0] || labels[6] == labels[4] || labels[3] == labels[6] {
+		t.Fatal("isolated vertices mislabeled")
+	}
+	lc := LargestComponent(g)
+	if len(lc) != 3 || lc[0] != 0 || lc[2] != 2 {
+		t.Fatalf("largest component = %v", lc)
+	}
+}
+
+func TestComponentsEmpty(t *testing.T) {
+	var g Graph
+	if _, count := Components(&g); count != 0 {
+		t.Fatal("empty graph has components")
+	}
+	if LargestComponent(&g) != nil {
+		t.Fatal("empty graph has a largest component")
+	}
+}
+
+func TestRoadNetworksAreConnected(t *testing.T) {
+	for _, d := range RoadDatasets() {
+		g := MustGenerate(d, Tiny)
+		if _, count := Components(g); count != 1 {
+			t.Fatalf("%s: %d components, want 1 (spanning guarantee)", d, count)
+		}
+	}
+}
+
+// Property: labels partition the vertex set and are consistent with edges
+// (endpoints of every edge share a label).
+func TestQuickComponentsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		b := NewBuilder(n, rng.Intn(2) == 0, false)
+		for i := 0; i < n; i++ {
+			b.AddEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)), 0)
+		}
+		g := b.MustBuild()
+		labels, count := Components(g)
+		for _, l := range labels {
+			if l < 0 || int(l) >= count {
+				return false
+			}
+		}
+		for v := 0; v < n; v++ {
+			for _, u := range g.OutNeighbors(VertexID(v)) {
+				if labels[v] != labels[u] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

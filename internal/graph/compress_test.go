@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompressedRoundTrip(t *testing.T) {
+	for _, g := range []*Graph{
+		PaperExample(),
+		MustGenerate(LJ, Tiny),
+		MustGenerate(RDCA, Tiny),
+		MustGenerate(UK2, Tiny),
+	} {
+		var buf bytes.Buffer
+		if _, err := WriteCompressed(&buf, g); err != nil {
+			t.Fatalf("%s: write: %v", g.Name, err)
+		}
+		got, err := ReadCompressed(&buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", g.Name, err)
+		}
+		if got.Name != g.Name {
+			t.Fatalf("name %q != %q", got.Name, g.Name)
+		}
+		graphsEqual(t, g, got)
+	}
+}
+
+func TestCompressedNonIntegralWeights(t *testing.T) {
+	b := NewBuilder(3, true, true)
+	b.AddEdge(0, 1, 2.5)
+	b.AddEdge(1, 2, 3)
+	b.AddEdge(0, 2, 0.125)
+	g := b.MustBuild()
+	var buf bytes.Buffer
+	if _, err := WriteCompressed(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCompressed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, g, got)
+}
+
+func TestCompressedUnweighted(t *testing.T) {
+	b := NewBuilder(4, false, false)
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(2, 3, 0)
+	g := b.MustBuild()
+	var buf bytes.Buffer
+	if _, err := WriteCompressed(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCompressed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, g, got)
+}
+
+func TestCompressionBeatsPlainCSR(t *testing.T) {
+	g := MustGenerate(LJ, Tiny)
+	ratio, err := CompressionRatio(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio >= 1 {
+		t.Fatalf("compression ratio %.2f >= 1 on a power-law graph", ratio)
+	}
+	t.Logf("compressed adjacency is %.0f%% of plain CSR", 100*ratio)
+}
+
+func TestReadCompressedBadMagic(t *testing.T) {
+	if _, err := ReadCompressed(bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReadCompressedTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteCompressed(&buf, PaperExample()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{5, 20, len(full) - 1} {
+		if _, err := ReadCompressed(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, x := range []int64{0, 1, -1, 5, -5, 1 << 40, -(1 << 40)} {
+		if unzigzag(zigzag(x)) != x {
+			t.Fatalf("zigzag round trip failed for %d", x)
+		}
+	}
+}
+
+func TestQuickCompressedRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		b := NewBuilder(n, rng.Intn(2) == 0, rng.Intn(2) == 0)
+		for i := 0; i < 4*n; i++ {
+			b.AddEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)), Weight(rng.Intn(100))/4)
+		}
+		g := b.MustBuild()
+		var buf bytes.Buffer
+		if _, err := WriteCompressed(&buf, g); err != nil {
+			return false
+		}
+		got, err := ReadCompressed(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for i := range g.Targets {
+			if g.Targets[i] != got.Targets[i] {
+				return false
+			}
+			if g.Weighted() && g.Weights[i] != got.Weights[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,240 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SizeClass selects how large the synthetic stand-ins for the paper's
+// datasets are. The paper evaluates on graphs of 69M-3.6B edges on a
+// 512 GB server; this reproduction scales them down while preserving the
+// *relative* characteristics (density ordering, skew, diameter regime) that
+// the alignment techniques depend on. The simulated LLC in
+// internal/cachesim is scaled down correspondingly, so "graph much larger
+// than cache" still holds.
+type SizeClass int
+
+const (
+	// Tiny graphs (~1-2k vertices) for unit tests.
+	Tiny SizeClass = iota
+	// Small graphs (~16-32k vertices) for quick experiments and -short benches.
+	Small
+	// Medium graphs (~64-256k vertices, 1-4M edges) for the full benchmark
+	// harness.
+	Medium
+)
+
+// String implements fmt.Stringer.
+func (s SizeClass) String() string {
+	switch s {
+	case Tiny:
+		return "tiny"
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	}
+	return fmt.Sprintf("SizeClass(%d)", int(s))
+}
+
+// Dataset names one of the paper's seven graphs (Table 7).
+type Dataset string
+
+// The seven datasets of paper Table 7.
+const (
+	LJ   Dataset = "LJ"    // LiveJournal: directed social graph, avg deg ~14
+	WP   Dataset = "WP"    // Wikipedia links: directed, dense, tiny diameter
+	UK2  Dataset = "UK2"   // UK-2002 web crawl: undirected here, larger diameter
+	TW   Dataset = "TW"    // Twitter: directed, dense, heavy skew
+	FR   Dataset = "FR"    // Friendster: undirected, largest
+	RDCA Dataset = "RD-CA" // roadNet-CA: planar, huge diameter
+	RDUS Dataset = "RD-US" // roadNet-USA: planar, huger diameter
+)
+
+// PowerLawDatasets lists the five power-law graphs used by most experiments.
+func PowerLawDatasets() []Dataset { return []Dataset{LJ, WP, UK2, TW, FR} }
+
+// RoadDatasets lists the two road networks (Table 15).
+func RoadDatasets() []Dataset { return []Dataset{RDCA, RDUS} }
+
+// AllDatasets lists every dataset.
+func AllDatasets() []Dataset {
+	return append(PowerLawDatasets(), RoadDatasets()...)
+}
+
+// scalePreset describes how to synthesize one dataset at one size class.
+type scalePreset struct {
+	rmat *RMATConfig
+	road *RoadConfig
+}
+
+func rmatPreset(scale, ef int, a, b, c float64, directed bool, seed int64, name string) scalePreset {
+	return scalePreset{rmat: &RMATConfig{
+		Scale: scale, EdgeFactor: ef,
+		A: a, B: b, C: c,
+		Directed: directed, Weighted: true, MaxWeight: 64,
+		Seed: seed, Name: name,
+	}}
+}
+
+func roadPreset(rows, cols int, seed int64, name string) scalePreset {
+	cfg := DefaultRoad(rows, cols, seed)
+	cfg.Name = name
+	return scalePreset{road: &cfg}
+}
+
+// preset returns the generator configuration for (d, size). Skew and edge
+// factor are tuned so the relative ordering of the real datasets holds:
+// TW and WP are the densest/most skewed (small diameter), UK2 and FR are
+// flatter (larger diameter), LJ sits in between.
+func preset(d Dataset, size SizeClass) (scalePreset, error) {
+	// Per-class base scale: Tiny=10, Small=14, Medium=16.
+	var base int
+	switch size {
+	case Tiny:
+		base = 10
+	case Small:
+		base = 14
+	case Medium:
+		base = 16
+	default:
+		return scalePreset{}, fmt.Errorf("graph: unknown size class %v", size)
+	}
+	switch d {
+	case LJ:
+		return rmatPreset(base, 14, 0.57, 0.19, 0.19, true, 1001, "LJ-sim"), nil
+	case WP:
+		return rmatPreset(base, 32, 0.60, 0.18, 0.18, true, 1002, "WP-sim"), nil
+	case UK2:
+		return rmatPreset(base+1, 8, 0.45, 0.22, 0.22, false, 1003, "UK2-sim"), nil
+	case TW:
+		return rmatPreset(base+1, 16, 0.62, 0.17, 0.17, true, 1004, "TW-sim"), nil
+	case FR:
+		return rmatPreset(base+2, 8, 0.48, 0.21, 0.21, false, 1005, "FR-sim"), nil
+	case RDCA:
+		switch size {
+		case Tiny:
+			return roadPreset(32, 32, 2001, "RD-CA-sim"), nil
+		case Small:
+			return roadPreset(100, 120, 2001, "RD-CA-sim"), nil
+		default:
+			return roadPreset(200, 250, 2001, "RD-CA-sim"), nil
+		}
+	case RDUS:
+		switch size {
+		case Tiny:
+			return roadPreset(48, 48, 2002, "RD-US-sim"), nil
+		case Small:
+			return roadPreset(160, 200, 2002, "RD-US-sim"), nil
+		default:
+			return roadPreset(400, 500, 2002, "RD-US-sim"), nil
+		}
+	}
+	return scalePreset{}, fmt.Errorf("graph: unknown dataset %q", d)
+}
+
+// Generate synthesizes the stand-in for dataset d at the given size class.
+// Generation is deterministic: the same (d, size) always yields the same
+// graph.
+func Generate(d Dataset, size SizeClass) (*Graph, error) {
+	p, err := preset(d, size)
+	if err != nil {
+		return nil, err
+	}
+	if p.rmat != nil {
+		return GenerateRMAT(*p.rmat), nil
+	}
+	return GenerateRoad(*p.road), nil
+}
+
+// MustGenerate is Generate that panics on error; datasets and size classes
+// are typically compile-time constants.
+func MustGenerate(d Dataset, size SizeClass) *Graph {
+	g, err := Generate(d, size)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Stats summarizes structural properties of a graph; used by CLIs and by
+// EXPERIMENTS.md to document the synthetic stand-ins (cf. paper Table 7).
+type Stats struct {
+	Name        string
+	Vertices    int
+	Edges       int
+	Directed    bool
+	AvgDegree   float64
+	MaxDegree   int
+	ApproxDia   int // approximate diameter: max BFS level from a hub
+	DegreeP99   int // 99th-percentile out-degree
+	ZeroDegrees int // vertices with no out-edges
+}
+
+// ComputeStats gathers Stats. ApproxDia runs one BFS from the highest-degree
+// vertex (ignoring direction by using the union of out- and in-edges via the
+// reverse graph) and reports the deepest level reached; a lower bound on the
+// true diameter that is adequate for ordering graphs by diameter regime.
+func ComputeStats(g *Graph) Stats {
+	n := g.NumVertices()
+	s := Stats{
+		Name:      g.Name,
+		Vertices:  n,
+		Edges:     g.NumEdges(),
+		Directed:  g.Directed,
+		AvgDegree: g.AvgDegree(),
+	}
+	degs := make([]int, n)
+	for v := 0; v < n; v++ {
+		degs[v] = g.OutDegree(VertexID(v))
+		if degs[v] == 0 {
+			s.ZeroDegrees++
+		}
+		if degs[v] > s.MaxDegree {
+			s.MaxDegree = degs[v]
+		}
+	}
+	if n > 0 {
+		sorted := append([]int(nil), degs...)
+		sort.Ints(sorted)
+		s.DegreeP99 = sorted[(len(sorted)*99)/100]
+		hub, _ := g.MaxOutDegree()
+		s.ApproxDia = eccentricity(g, g.Reverse(), hub)
+	}
+	return s
+}
+
+// eccentricity returns the max BFS level reachable from src treating edges
+// as undirected (following both out- and in-edges).
+func eccentricity(g, rev *Graph, src VertexID) int {
+	n := g.NumVertices()
+	level := make([]int32, n)
+	for i := range level {
+		level[i] = -1
+	}
+	level[src] = 0
+	frontier := []VertexID{src}
+	depth := 0
+	for len(frontier) > 0 {
+		var next []VertexID
+		for _, v := range frontier {
+			for _, u := range g.OutNeighbors(v) {
+				if level[u] < 0 {
+					level[u] = level[v] + 1
+					next = append(next, u)
+				}
+			}
+			for _, u := range rev.OutNeighbors(v) {
+				if level[u] < 0 {
+					level[u] = level[v] + 1
+					next = append(next, u)
+				}
+			}
+		}
+		if len(next) > 0 {
+			depth++
+		}
+		frontier = next
+	}
+	return depth
+}

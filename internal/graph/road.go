@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"math/rand"
+)
+
+// RoadConfig parameterizes the synthetic road-network generator. Road
+// networks (roadNet-CA/USA in the paper) are near-planar: tiny average
+// degree (~2.4-2.8) and enormous diameter (hundreds to thousands of hops).
+// Query evaluation on them never develops the "heavy iterations" that
+// Glign's inter-iteration alignment exploits, which is exactly the regime
+// Table 15 probes.
+type RoadConfig struct {
+	// Rows x Cols grid intersections.
+	Rows, Cols int
+	// DropProb removes each grid edge independently with this probability,
+	// producing irregular city blocks (kept low enough to stay connected in
+	// expectation; the generator retries dropped edges on the grid spanning
+	// backbone so the graph remains connected).
+	DropProb float64
+	// ShortcutFraction adds this fraction of |V| long-range "highway" edges
+	// between random vertices within a limited Manhattan radius.
+	ShortcutFraction float64
+	// MaxWeight bounds the uniform integer edge weights (>= 1).
+	MaxWeight int
+	Seed      int64
+	Name      string
+}
+
+// DefaultRoad returns parameters resembling a mid-size road network.
+func DefaultRoad(rows, cols int, seed int64) RoadConfig {
+	return RoadConfig{
+		Rows: rows, Cols: cols,
+		DropProb:         0.08,
+		ShortcutFraction: 0.01,
+		MaxWeight:        16,
+		Seed:             seed,
+	}
+}
+
+// GenerateRoad builds a deterministic undirected weighted road network on a
+// Rows x Cols grid. A spanning "backbone" (all edges of row 0 and column 0
+// plus one edge linking every other vertex toward the origin) is always
+// kept, so the graph is connected regardless of DropProb.
+func GenerateRoad(cfg RoadConfig) *Graph {
+	rows, cols := cfg.Rows, cfg.Cols
+	n := rows * cols
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	maxW := cfg.MaxWeight
+	if maxW < 1 {
+		maxW = 1
+	}
+	id := func(r, c int) VertexID { return VertexID(r*cols + c) }
+	w := func() Weight { return Weight(1 + rng.Intn(maxW)) }
+
+	// Spanning guarantee: every vertex other than the origin keeps one
+	// "parent" edge toward a lower row or column, chosen at random, so the
+	// graph stays connected no matter what DropProb removes.
+	parentUp := make([]bool, n) // true: parent is (r-1,c); false: (r,c-1)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			switch {
+			case r == 0 && c == 0:
+			case r == 0:
+				parentUp[id(r, c)] = false
+			case c == 0:
+				parentUp[id(r, c)] = true
+			default:
+				parentUp[id(r, c)] = rng.Intn(2) == 0
+			}
+		}
+	}
+	b := NewBuilder(n, false, true)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			// Horizontal edge (r,c)-(r,c+1): parent edge of (r,c+1) when
+			// that vertex's parent points left.
+			if c+1 < cols {
+				keep := !parentUp[id(r, c+1)]
+				if keep || rng.Float64() >= cfg.DropProb {
+					b.AddEdge(id(r, c), id(r, c+1), w())
+				}
+			}
+			// Vertical edge (r,c)-(r+1,c): parent edge of (r+1,c) when that
+			// vertex's parent points up.
+			if r+1 < rows {
+				keep := parentUp[id(r+1, c)]
+				if keep || rng.Float64() >= cfg.DropProb {
+					b.AddEdge(id(r, c), id(r+1, c), w())
+				}
+			}
+		}
+	}
+	// Local highway shortcuts.
+	shortcuts := int(cfg.ShortcutFraction * float64(n))
+	radius := cols / 8
+	if radius < 2 {
+		radius = 2
+	}
+	for i := 0; i < shortcuts; i++ {
+		r := rng.Intn(rows)
+		c := rng.Intn(cols)
+		dr := rng.Intn(2*radius+1) - radius
+		dc := rng.Intn(2*radius+1) - radius
+		r2, c2 := r+dr, c+dc
+		if r2 < 0 || r2 >= rows || c2 < 0 || c2 >= cols || (r2 == r && c2 == c) {
+			continue
+		}
+		b.AddEdge(id(r, c), id(r2, c2), w())
+	}
+	g := b.MustBuild()
+	g.Name = cfg.Name
+	if g.Name == "" {
+		g.Name = "road"
+	}
+	return g
+}

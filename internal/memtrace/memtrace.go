@@ -1,0 +1,53 @@
+// Package memtrace defines the memory-access tracing contract between the
+// evaluation engines and the cache simulator. The paper profiles last-level
+// cache misses with the perf hardware counters; this reproduction cannot
+// assume such hardware, so the engines can instead replay their memory
+// behaviour — every frontier, value-array and CSR access, in execution
+// order — into a Tracer, and internal/cachesim implements Tracer with a
+// set-associative LRU model (see DESIGN.md §3, substitutions).
+package memtrace
+
+// Tracer consumes a stream of memory accesses in program order. Tracing
+// runs are single-threaded so the order is deterministic.
+type Tracer interface {
+	// Access records a read (write=false) or write of size bytes at addr.
+	Access(addr int64, size int64, write bool)
+}
+
+// Layout assigns non-overlapping base addresses to the data structures of an
+// engine, mimicking a heap. Arrays are spaced apart and aligned so that
+// distinct structures never share a cache line.
+type Layout struct {
+	next int64
+}
+
+const lineAlign = 4096 // page-align each region
+
+// Place reserves size bytes and returns the region's base address.
+func (l *Layout) Place(size int64) int64 {
+	base := l.next
+	l.next += (size + lineAlign - 1) / lineAlign * lineAlign
+	// Leave a guard page between regions.
+	l.next += lineAlign
+	return base
+}
+
+// Total returns the total address space laid out so far.
+func (l *Layout) Total() int64 { return l.next }
+
+// CountingTracer counts accesses without modelling a cache; useful in tests
+// and as a denominator (total accesses) next to simulated misses.
+type CountingTracer struct {
+	Reads, Writes int64
+	Bytes         int64
+}
+
+// Access implements Tracer.
+func (c *CountingTracer) Access(addr int64, size int64, write bool) {
+	if write {
+		c.Writes++
+	} else {
+		c.Reads++
+	}
+	c.Bytes += size
+}

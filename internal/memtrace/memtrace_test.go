@@ -1,0 +1,43 @@
+package memtrace
+
+import "testing"
+
+func TestLayoutPlacesDisjointRegions(t *testing.T) {
+	var l Layout
+	a := l.Place(100)
+	b := l.Place(5000)
+	c := l.Place(1)
+	if a != 0 {
+		t.Fatalf("first region at %d, want 0", a)
+	}
+	// Regions must be page-aligned, disjoint, and separated by a guard page.
+	if b%4096 != 0 || c%4096 != 0 {
+		t.Fatalf("regions not aligned: %d %d", b, c)
+	}
+	if b < a+100 || c < b+5000 {
+		t.Fatalf("regions overlap: %d %d %d", a, b, c)
+	}
+	if l.Total() < c+1 {
+		t.Fatalf("total %d below last region end", l.Total())
+	}
+}
+
+func TestLayoutGuardPages(t *testing.T) {
+	var l Layout
+	a := l.Place(4096)
+	b := l.Place(8)
+	// One full page for region a, plus a guard page.
+	if b-a < 2*4096 {
+		t.Fatalf("no guard page between regions: %d %d", a, b)
+	}
+}
+
+func TestCountingTracer(t *testing.T) {
+	var c CountingTracer
+	c.Access(0, 8, false)
+	c.Access(64, 16, true)
+	c.Access(128, 4, false)
+	if c.Reads != 2 || c.Writes != 1 || c.Bytes != 28 {
+		t.Fatalf("counter = %+v", c)
+	}
+}

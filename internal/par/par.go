@@ -1,0 +1,77 @@
+// Package par provides the small work-sharing parallel runtime the engines
+// are built on. It stands in for the Cilk work-stealing scheduler that Ligra
+// (and therefore Krill and Glign) uses: dynamic chunk self-scheduling over an
+// index space, which delivers the balanced vertex-level parallelism the paper
+// relies on without any external dependency.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the worker count used when a caller passes workers <= 0.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// minGrain is the smallest chunk handed to a worker; chunks below this are
+// not worth the scheduling overhead.
+const minGrain = 64
+
+// For runs fn over [0,total) split into dynamically scheduled chunks of
+// roughly grain indices each, using the given number of workers. fn must be
+// safe for concurrent invocation on disjoint ranges. With workers == 1 (or a
+// tiny total) it runs inline, which keeps single-threaded runs deterministic
+// and cheap.
+func For(total, workers, grain int, fn func(lo, hi int)) {
+	if total <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if grain <= 0 {
+		grain = total / (workers * 8)
+	}
+	if grain < minGrain {
+		grain = minGrain
+	}
+	if workers == 1 || total <= grain {
+		fn(0, total)
+		return
+	}
+	nChunks := (total + grain - 1) / grain
+	if workers > nChunks {
+		workers = nChunks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nChunks {
+					return
+				}
+				lo := c * grain
+				hi := lo + grain
+				if hi > total {
+					hi = total
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEach runs fn for every element of items using For's scheduling.
+func ForEach[T any](items []T, workers int, fn func(item T)) {
+	For(len(items), workers, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(items[i])
+		}
+	})
+}

@@ -1,0 +1,97 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		for _, total := range []int{0, 1, 63, 64, 65, 1000, 4097} {
+			seen := make([]int32, total)
+			For(total, workers, 0, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d total=%d: index %d visited %d times", workers, total, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegativeTotal(t *testing.T) {
+	called := false
+	For(0, 4, 0, func(lo, hi int) { called = true })
+	For(-5, 4, 0, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForSingleWorkerRunsInline(t *testing.T) {
+	// With one worker the callback must see the whole range in one call
+	// (deterministic inline execution).
+	var calls int
+	For(10000, 1, 0, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 10000 {
+			t.Fatalf("inline run got [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestForExplicitGrain(t *testing.T) {
+	var chunks atomic.Int64
+	For(1000, 4, 100, func(lo, hi int) {
+		chunks.Add(1)
+		if hi-lo > 100 {
+			t.Errorf("chunk [%d,%d) exceeds grain", lo, hi)
+		}
+	})
+	if got := chunks.Load(); got != 10 {
+		t.Fatalf("chunks = %d, want 10", got)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	items := make([]int, 500)
+	for i := range items {
+		items[i] = i
+	}
+	var sum atomic.Int64
+	ForEach(items, 4, func(x int) { sum.Add(int64(x)) })
+	if got, want := sum.Load(), int64(500*499/2); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestQuickForPartitions(t *testing.T) {
+	f := func(total uint16, workers uint8, grain uint16) bool {
+		n := int(total) % 5000
+		var count atomic.Int64
+		For(n, int(workers)%8, int(grain)%300, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("bad range [%d,%d) for n=%d", lo, hi, n)
+			}
+			count.Add(int64(hi - lo))
+		})
+		return int(count.Load()) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatal("DefaultWorkers < 1")
+	}
+}

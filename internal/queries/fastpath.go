@@ -1,0 +1,111 @@
+package queries
+
+import (
+	"math"
+	"sync/atomic"
+
+	"github.com/glign/glign/internal/graph"
+)
+
+// OpKind identifies a built-in kernel so engines can run fused, direct
+// relaxation loops instead of paying two indirect calls (Kernel.Relax plus
+// the Better comparator) per edge and lane — the dominant cost of batch
+// evaluation once frontiers are bitmap-cheap.
+type OpKind uint8
+
+// Kinds of the built-in kernels. OpCustom falls back to the Kernel
+// interface, so user-defined kernels keep working, just without the fused
+// path.
+const (
+	OpCustom OpKind = iota
+	OpBFS
+	OpSSSP
+	OpSSWP
+	OpSSNP
+	OpViterbi
+)
+
+// KindOf classifies a kernel.
+func KindOf(k Kernel) OpKind {
+	switch k.(type) {
+	case bfs:
+		return OpBFS
+	case sssp:
+		return OpSSSP
+	case sswp:
+		return OpSSWP
+	case ssnp:
+		return OpSSNP
+	case viterbi:
+		return OpViterbi
+	}
+	return OpCustom
+}
+
+// KindsOf classifies every kernel of a batch.
+func KindsOf(kernels []Kernel) []OpKind {
+	kinds := make([]OpKind, len(kernels))
+	for i, k := range kernels {
+		kinds[i] = KindOf(k)
+	}
+	return kinds
+}
+
+// ImproveMin installs cand into cell i iff cand < current (atomic, lock
+// free). It is Improve specialized to minimizing kernels.
+func (v *Values) ImproveMin(i int, cand Value) bool {
+	addr := &v.bits[i]
+	candBits := math.Float64bits(cand)
+	for {
+		oldBits := atomic.LoadUint64(addr)
+		if cand >= math.Float64frombits(oldBits) {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(addr, oldBits, candBits) {
+			return true
+		}
+	}
+}
+
+// ImproveMax installs cand into cell i iff cand > current.
+func (v *Values) ImproveMax(i int, cand Value) bool {
+	addr := &v.bits[i]
+	candBits := math.Float64bits(cand)
+	for {
+		oldBits := atomic.LoadUint64(addr)
+		if cand <= math.Float64frombits(oldBits) {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(addr, oldBits, candBits) {
+			return true
+		}
+	}
+}
+
+// RelaxImprove performs one relaxation of the edge (·->dst, weight w) whose
+// source currently holds src, against cell i of v, using the fused path for
+// built-in kernels and the Kernel interface otherwise. It reports whether
+// the destination improved. kind must be KindOf(k).
+func RelaxImprove(v *Values, kind OpKind, k Kernel, i int, src Value, w graph.Weight) bool {
+	switch kind {
+	case OpBFS:
+		return v.ImproveMin(i, src+1)
+	case OpSSSP:
+		return v.ImproveMin(i, src+Value(w))
+	case OpSSWP:
+		cand := Value(w)
+		if src < cand {
+			cand = src
+		}
+		return v.ImproveMax(i, cand)
+	case OpSSNP:
+		cand := Value(w)
+		if src > cand {
+			cand = src
+		}
+		return v.ImproveMin(i, cand)
+	case OpViterbi:
+		return v.ImproveMax(i, src/Value(w))
+	}
+	return v.Improve(i, k.Relax(src, w), k.Better)
+}

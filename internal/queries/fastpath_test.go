@@ -1,0 +1,106 @@
+package queries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/glign/glign/internal/graph"
+)
+
+func TestKindOf(t *testing.T) {
+	want := map[string]OpKind{
+		"BFS": OpBFS, "SSSP": OpSSSP, "SSWP": OpSSWP,
+		"SSNP": OpSSNP, "Viterbi": OpViterbi,
+	}
+	for _, k := range All() {
+		if got := KindOf(k); got != want[k.Name()] {
+			t.Fatalf("KindOf(%s) = %d", k.Name(), got)
+		}
+	}
+	// A custom kernel falls back to OpCustom.
+	if KindOf(customKernel{}) != OpCustom {
+		t.Fatal("custom kernel misclassified")
+	}
+	kinds := KindsOf([]Kernel{BFS, SSSP})
+	if len(kinds) != 2 || kinds[0] != OpBFS || kinds[1] != OpSSSP {
+		t.Fatalf("KindsOf = %v", kinds)
+	}
+}
+
+// customKernel is a user-defined kernel (min-plus with doubled weights).
+type customKernel struct{}
+
+func (customKernel) Name() string                          { return "Custom" }
+func (customKernel) Identity() Value                       { return math.Inf(1) }
+func (customKernel) SourceValue() Value                    { return 0 }
+func (customKernel) Relax(src Value, w graph.Weight) Value { return src + 2*Value(w) }
+func (customKernel) Better(a, b Value) bool                { return a < b }
+
+func TestImproveMinMax(t *testing.T) {
+	v := NewValues(2, 10)
+	if !v.ImproveMin(0, 5) || v.ImproveMin(0, 5) || v.ImproveMin(0, 7) {
+		t.Fatal("ImproveMin semantics broken")
+	}
+	if v.Get(0) != 5 {
+		t.Fatalf("value = %v", v.Get(0))
+	}
+	if !v.ImproveMax(1, 20) || v.ImproveMax(1, 20) || v.ImproveMax(1, 15) {
+		t.Fatal("ImproveMax semantics broken")
+	}
+	if v.Get(1) != 20 {
+		t.Fatalf("value = %v", v.Get(1))
+	}
+}
+
+// The fused path must agree exactly with the interface path for every
+// built-in kernel over random states (this is what licenses the engines'
+// specialized loops).
+func TestQuickRelaxImproveMatchesInterface(t *testing.T) {
+	kernels := All()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, k := range kernels {
+			kind := KindOf(k)
+			for trial := 0; trial < 50; trial++ {
+				// Random current destination value and source value from
+				// the kernel's plausible range.
+				src := randomValue(rng, k)
+				dst := randomValue(rng, k)
+				w := graph.Weight(1 + rng.Intn(64))
+
+				fast := NewValues(1, dst)
+				slow := NewValues(1, dst)
+				fr := RelaxImprove(fast, kind, k, 0, src, w)
+				sr := slow.Improve(0, k.Relax(src, w), k.Better)
+				if fr != sr || fast.Get(0) != slow.Get(0) {
+					return false
+				}
+			}
+		}
+		// And the custom fallback path.
+		k := customKernel{}
+		v := NewValues(1, math.Inf(1))
+		if !RelaxImprove(v, KindOf(k), k, 0, 3, 2) || v.Get(0) != 7 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomValue(rng *rand.Rand, k Kernel) Value {
+	switch rng.Intn(4) {
+	case 0:
+		return k.Identity()
+	case 1:
+		return k.SourceValue()
+	}
+	if k.Name() == "Viterbi" {
+		return rng.Float64()
+	}
+	return Value(rng.Intn(200))
+}

@@ -1,0 +1,81 @@
+package queries
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Values is a flat array of Value cells supporting lock-free monotone
+// updates. Cells are stored as float64 bit patterns in uint64 words so a CAS
+// loop can implement the atomic "write if better" every push-model engine
+// needs (the writeMin of Ligra).
+//
+// The concurrent engines lay a whole batch out in one Values of length n*B,
+// with the value of vertex v for query i at index v*B+i — the
+// ValArray[v_j*B+i] layout of paper §3.5 that keeps a vertex's values for
+// all queries on the same cache line(s).
+type Values struct {
+	bits []uint64
+}
+
+// NewValues allocates length cells initialized to init.
+func NewValues(length int, init Value) *Values {
+	v := &Values{bits: make([]uint64, length)}
+	b := math.Float64bits(init)
+	for i := range v.bits {
+		v.bits[i] = b
+	}
+	return v
+}
+
+// Len returns the number of cells.
+func (v *Values) Len() int { return len(v.bits) }
+
+// Get atomically reads cell i.
+func (v *Values) Get(i int) Value {
+	return math.Float64frombits(atomic.LoadUint64(&v.bits[i]))
+}
+
+// Set unconditionally stores x into cell i (atomic store; use for
+// initialization such as injecting source values).
+func (v *Values) Set(i int, x Value) {
+	atomic.StoreUint64(&v.bits[i], math.Float64bits(x))
+}
+
+// Fill resets every cell to x (not atomic; callers quiesce first).
+func (v *Values) Fill(x Value) {
+	b := math.Float64bits(x)
+	for i := range v.bits {
+		v.bits[i] = b
+	}
+}
+
+// Improve installs cand into cell i iff better(cand, current); it retries on
+// contention and reports whether it performed an update. This is the atomic
+// relaxation step: with a monotone better, cells only ever improve, so the
+// loop terminates.
+func (v *Values) Improve(i int, cand Value, better func(a, b Value) bool) bool {
+	addr := &v.bits[i]
+	candBits := math.Float64bits(cand)
+	for {
+		oldBits := atomic.LoadUint64(addr)
+		if !better(cand, math.Float64frombits(oldBits)) {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(addr, oldBits, candBits) {
+			return true
+		}
+	}
+}
+
+// Snapshot copies all cells into a fresh []Value.
+func (v *Values) Snapshot() []Value {
+	out := make([]Value, len(v.bits))
+	for i := range v.bits {
+		out[i] = math.Float64frombits(v.bits[i])
+	}
+	return out
+}
+
+// Bytes returns the footprint of the value array.
+func (v *Values) Bytes() int64 { return int64(len(v.bits)) * 8 }

@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"github.com/glign/glign/internal/align"
+	"github.com/glign/glign/internal/queries"
+)
+
+// Cluster is an extension beyond the paper's affinity-oriented batching:
+// instead of ranking queries by the scalar closestHV (distance to the
+// *nearest* hub), it describes each query by its full arrival vector — the
+// hop distance from its source to *each* of the K hubs — and greedily
+// clusters queries with small L1 distance between vectors into the same
+// batch. Two queries that reach different hubs at the same time rank
+// identically under the scalar heuristic but traverse different regions;
+// the vector distinguishes them. (This generalizes §3.4; the abl-cluster
+// experiment quantifies the effect.)
+type Cluster struct {
+	Profile *align.Profile
+	// Window bounds reordering, as in Affinity (<= 0: whole buffer).
+	Window int
+}
+
+// Name implements Policy.
+func (Cluster) Name() string { return "Cluster" }
+
+// arrivalVector is the per-hub hop distances of one query's source;
+// unreachable hubs are mapped to a large sentinel so they repel.
+func (c Cluster) arrivalVector(src queries.Query) []int32 {
+	p := c.Profile
+	vec := make([]int32, len(p.Hubs))
+	for h := range p.Hubs {
+		d := p.LeastHops[h][src.Source]
+		if d < 0 {
+			d = 1 << 14
+		}
+		vec[h] = d
+	}
+	return vec
+}
+
+func l1(a, b []int32) int {
+	total := 0
+	for i := range a {
+		d := int(a[i]) - int(b[i])
+		if d < 0 {
+			d = -d
+		}
+		total += d
+	}
+	return total
+}
+
+// MakeBatches implements Policy: greedy nearest-vector clustering within
+// each batching window. The earliest unassigned query seeds a batch; the
+// batchSize-1 unassigned queries with the smallest L1 vector distance to
+// the seed join it.
+func (c Cluster) MakeBatches(buffer []queries.Query, batchSize int) [][]int {
+	window := c.Window
+	if window <= 0 || window > len(buffer) {
+		window = len(buffer)
+	}
+	if batchSize <= 0 {
+		batchSize = len(buffer)
+	}
+	vecs := make([][]int32, len(buffer))
+	for i, q := range buffer {
+		vecs[i] = c.arrivalVector(q)
+	}
+	var batches [][]int
+	for lo := 0; lo < len(buffer); lo += window {
+		hi := lo + window
+		if hi > len(buffer) {
+			hi = len(buffer)
+		}
+		assigned := make([]bool, hi-lo)
+		remaining := hi - lo
+		for remaining > 0 {
+			// Seed: earliest unassigned.
+			seed := -1
+			for i := range assigned {
+				if !assigned[i] {
+					seed = i
+					break
+				}
+			}
+			batch := []int{lo + seed}
+			assigned[seed] = true
+			remaining--
+			for len(batch) < batchSize && remaining > 0 {
+				best, bestDist := -1, 0
+				for i := range assigned {
+					if assigned[i] {
+						continue
+					}
+					d := l1(vecs[lo+seed], vecs[lo+i])
+					if best < 0 || d < bestDist || (d == bestDist && i < best) {
+						best, bestDist = i, d
+					}
+				}
+				batch = append(batch, lo+best)
+				assigned[best] = true
+				remaining--
+			}
+			batches = append(batches, batch)
+		}
+	}
+	return batches
+}
+
+var _ Policy = Cluster{}

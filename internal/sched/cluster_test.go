@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/glign/glign/internal/align"
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/queries"
+)
+
+func TestClusterPartitions(t *testing.T) {
+	g := graph.MustGenerate(graph.LJ, graph.Tiny)
+	p := align.NewProfile(g, 4, 2)
+	buf := randomBuffer(g, 50, 6)
+	pol := Cluster{Profile: p}
+	batches := pol.MakeBatches(buf, 8)
+	checkPartition(t, 50, 8, batches)
+	if pol.Name() != "Cluster" {
+		t.Fatal("name")
+	}
+}
+
+func TestClusterWindowed(t *testing.T) {
+	g := graph.MustGenerate(graph.LJ, graph.Tiny)
+	p := align.NewProfile(g, 4, 2)
+	buf := randomBuffer(g, 64, 7)
+	pol := Cluster{Profile: p, Window: 16}
+	batches := pol.MakeBatches(buf, 4)
+	checkPartition(t, 64, 4, batches)
+	if d := MaxDisplacement(batches); d >= 16 {
+		t.Fatalf("displacement %d exceeds window", d)
+	}
+}
+
+func TestClusterGroupsIdenticalSources(t *testing.T) {
+	g := graph.MustGenerate(graph.TW, graph.Tiny)
+	p := align.NewProfile(g, 4, 2)
+	// Buffer alternating two sources; clustering must group same-source
+	// queries (vector distance 0) into the same batches.
+	a := p.Hubs[0]
+	var b graph.VertexID
+	for v := 0; v < g.NumVertices(); v++ {
+		if p.ClosestHV[v] >= 3 {
+			b = graph.VertexID(v)
+			break
+		}
+	}
+	buf := make([]queries.Query, 8)
+	for i := range buf {
+		src := a
+		if i%2 == 1 {
+			src = b
+		}
+		buf[i] = queries.Query{Kernel: queries.BFS, Source: src}
+	}
+	batches := Cluster{Profile: p}.MakeBatches(buf, 4)
+	if len(batches) != 2 {
+		t.Fatalf("batches = %d, want 2", len(batches))
+	}
+	for _, batch := range batches {
+		src := buf[batch[0]].Source
+		for _, qi := range batch {
+			if buf[qi].Source != src {
+				t.Fatalf("mixed sources in batch %v", batch)
+			}
+		}
+	}
+}
+
+// Clustering must never produce batches with worse mean pairwise vector
+// distance than FCFS on a shuffled buffer (sanity of the greedy heuristic).
+func TestClusterImprovesCohesion(t *testing.T) {
+	g := graph.MustGenerate(graph.LJ, graph.Tiny)
+	p := align.NewProfile(g, 4, 2)
+	buf := randomBuffer(g, 60, 8)
+	pol := Cluster{Profile: p}
+	cohesion := func(batches [][]int) float64 {
+		total, count := 0, 0
+		for _, batch := range batches {
+			for i := 0; i < len(batch); i++ {
+				for j := i + 1; j < len(batch); j++ {
+					total += l1(pol.arrivalVector(buf[batch[i]]), pol.arrivalVector(buf[batch[j]]))
+					count++
+				}
+			}
+		}
+		if count == 0 {
+			return 0
+		}
+		return float64(total) / float64(count)
+	}
+	fcfs := cohesion(FCFS{}.MakeBatches(buf, 6))
+	clus := cohesion(pol.MakeBatches(buf, 6))
+	if clus > fcfs {
+		t.Fatalf("clustering cohesion %.2f worse than FCFS %.2f", clus, fcfs)
+	}
+}

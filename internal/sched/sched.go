@@ -1,0 +1,134 @@
+// Package sched implements query batching: how a buffer of concurrent
+// queries is partitioned into evaluation batches. It provides the paper's
+// two policies — first-come-first-serve and Glign's affinity-oriented
+// batching (§3.4, Figure 10) — plus the batching-window mechanism that
+// bounds how far affinity-oriented batching may reorder queries.
+package sched
+
+import (
+	"sort"
+
+	"github.com/glign/glign/internal/align"
+	"github.com/glign/glign/internal/queries"
+)
+
+// Policy partitions a query buffer into evaluation batches. Batches are
+// returned as index lists into the buffer so results can be mapped back to
+// arrival order.
+type Policy interface {
+	// Name identifies the policy ("FCFS", "Affinity").
+	Name() string
+	// MakeBatches splits buffer into batches of at most batchSize queries.
+	MakeBatches(buffer []queries.Query, batchSize int) [][]int
+}
+
+// FCFS batches queries in arrival order — the default policy of existing
+// concurrent graph systems.
+type FCFS struct{}
+
+// Name implements Policy.
+func (FCFS) Name() string { return "FCFS" }
+
+// MakeBatches implements Policy.
+func (FCFS) MakeBatches(buffer []queries.Query, batchSize int) [][]int {
+	return chunkIndices(identity(len(buffer)), batchSize)
+}
+
+// Affinity is Glign's affinity-oriented batching (paper §3.4): within each
+// batching window of Window queries (in arrival order), queries are ranked
+// by their estimated heavy-iteration arrival time (closestHV — the same
+// precompute that drives inter-iteration alignment) and consecutive runs of
+// batchSize ranked queries form the evaluation batches. Queries with close
+// arrival times therefore land in the same batch, where their heavy
+// iterations align naturally. The window bounds reordering so no query is
+// postponed indefinitely.
+type Affinity struct {
+	// Profile supplies the closestHV estimates.
+	Profile *align.Profile
+	// Window is the batching window B_w; <= 0 means the whole buffer.
+	Window int
+}
+
+// Name implements Policy.
+func (Affinity) Name() string { return "Affinity" }
+
+// MakeBatches implements Policy.
+func (a Affinity) MakeBatches(buffer []queries.Query, batchSize int) [][]int {
+	window := a.Window
+	if window <= 0 || window > len(buffer) {
+		window = len(buffer)
+	}
+	var batches [][]int
+	for lo := 0; lo < len(buffer); lo += window {
+		hi := lo + window
+		if hi > len(buffer) {
+			hi = len(buffer)
+		}
+		idx := identity(hi - lo)
+		for i := range idx {
+			idx[i] += lo
+		}
+		sort.SliceStable(idx, func(x, y int) bool {
+			ax := a.Profile.ArrivalEstimate(buffer[idx[x]].Source)
+			ay := a.Profile.ArrivalEstimate(buffer[idx[y]].Source)
+			if ax != ay {
+				return ax < ay
+			}
+			return idx[x] < idx[y]
+		})
+		batches = append(batches, chunkIndices(idx, batchSize)...)
+	}
+	return batches
+}
+
+func identity(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+func chunkIndices(idx []int, size int) [][]int {
+	if size <= 0 {
+		size = len(idx)
+	}
+	var out [][]int
+	for lo := 0; lo < len(idx); lo += size {
+		hi := lo + size
+		if hi > len(idx) {
+			hi = len(idx)
+		}
+		out = append(out, idx[lo:hi:hi])
+	}
+	return out
+}
+
+// Select gathers the queries of one batch from the buffer.
+func Select(buffer []queries.Query, batch []int) []queries.Query {
+	out := make([]queries.Query, len(batch))
+	for i, bi := range batch {
+		out[i] = buffer[bi]
+	}
+	return out
+}
+
+// MaxDisplacement returns how far any query moved from its arrival position
+// — the reordering bound the batching window enforces (at most Window-1).
+func MaxDisplacement(batches [][]int) int {
+	pos := 0
+	maxD := 0
+	for _, b := range batches {
+		for _, orig := range b {
+			d := orig - pos
+			if d < 0 {
+				d = -d
+			}
+			if d > maxD {
+				maxD = d
+			}
+			pos++
+		}
+	}
+	return maxD
+}

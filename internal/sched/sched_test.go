@@ -1,0 +1,168 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/glign/glign/internal/align"
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/queries"
+)
+
+func randomBuffer(g *graph.Graph, n int, seed int64) []queries.Query {
+	rng := rand.New(rand.NewSource(seed))
+	buf := make([]queries.Query, n)
+	for i := range buf {
+		buf[i] = queries.Query{Kernel: queries.SSSP,
+			Source: graph.VertexID(rng.Intn(g.NumVertices()))}
+	}
+	return buf
+}
+
+func checkPartition(t *testing.T, nQueries, batchSize int, batches [][]int) {
+	t.Helper()
+	seen := make([]bool, nQueries)
+	for _, b := range batches {
+		if len(b) == 0 || len(b) > batchSize {
+			t.Fatalf("batch size %d out of (0,%d]", len(b), batchSize)
+		}
+		for _, i := range b {
+			if i < 0 || i >= nQueries || seen[i] {
+				t.Fatalf("index %d invalid or duplicated", i)
+			}
+			seen[i] = true
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("query %d not scheduled", i)
+		}
+	}
+}
+
+func TestFCFSBatching(t *testing.T) {
+	g := graph.PaperExample()
+	buf := randomBuffer(g, 10, 1)
+	batches := FCFS{}.MakeBatches(buf, 4)
+	checkPartition(t, 10, 4, batches)
+	if len(batches) != 3 {
+		t.Fatalf("batches = %d, want 3", len(batches))
+	}
+	// Arrival order preserved.
+	want := 0
+	for _, b := range batches {
+		for _, i := range b {
+			if i != want {
+				t.Fatalf("FCFS reordered: got %d, want %d", i, want)
+			}
+			want++
+		}
+	}
+	if MaxDisplacement(batches) != 0 {
+		t.Fatal("FCFS must not displace queries")
+	}
+}
+
+func TestAffinityBatchingRanksByArrival(t *testing.T) {
+	g := graph.MustGenerate(graph.LJ, graph.Tiny)
+	p := align.NewProfile(g, 4, 2)
+	buf := randomBuffer(g, 64, 2)
+	pol := Affinity{Profile: p}
+	batches := pol.MakeBatches(buf, 8)
+	checkPartition(t, 64, 8, batches)
+	// Within the full-buffer window, batches are in nondecreasing arrival
+	// order: every batch's max arrival <= next batch's min arrival.
+	prevMax := -1
+	for _, b := range batches {
+		lo, hi := 1<<30, -1
+		for _, i := range b {
+			a := p.ArrivalEstimate(buf[i].Source)
+			if a < lo {
+				lo = a
+			}
+			if a > hi {
+				hi = a
+			}
+		}
+		if lo < prevMax {
+			t.Fatalf("batch arrival range [%d,%d] overlaps previous max %d", lo, hi, prevMax)
+		}
+		prevMax = hi
+	}
+}
+
+func TestAffinityBatchingWindowBoundsDisplacement(t *testing.T) {
+	g := graph.MustGenerate(graph.LJ, graph.Tiny)
+	p := align.NewProfile(g, 4, 2)
+	buf := randomBuffer(g, 100, 3)
+	pol := Affinity{Profile: p, Window: 20}
+	batches := pol.MakeBatches(buf, 5)
+	checkPartition(t, 100, 5, batches)
+	if d := MaxDisplacement(batches); d >= 20 {
+		t.Fatalf("displacement %d not bounded by window 20", d)
+	}
+	// Windowed batching yields the same batch count as FCFS.
+	if len(batches) != 20 {
+		t.Fatalf("batches = %d, want 20", len(batches))
+	}
+}
+
+func TestAffinityStableWithinEqualArrivals(t *testing.T) {
+	g := graph.PaperExample()
+	p := align.NewProfile(g, 4, 1)
+	// All same source -> equal arrivals -> arrival order preserved.
+	buf := make([]queries.Query, 6)
+	for i := range buf {
+		buf[i] = queries.Query{Kernel: queries.BFS, Source: 7}
+	}
+	batches := Affinity{Profile: p}.MakeBatches(buf, 3)
+	checkPartition(t, 6, 3, batches)
+	if MaxDisplacement(batches) != 0 {
+		t.Fatal("equal arrivals must preserve arrival order (stable sort)")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := graph.PaperExample()
+	buf := randomBuffer(g, 5, 4)
+	got := Select(buf, []int{3, 0})
+	if len(got) != 2 || got[0] != buf[3] || got[1] != buf[0] {
+		t.Fatalf("Select broken: %v", got)
+	}
+}
+
+func TestQuickPoliciesPartition(t *testing.T) {
+	g := graph.MustGenerate(graph.LJ, graph.Tiny)
+	p := align.NewProfile(g, 4, 2)
+	f := func(seed int64, nRaw, bsRaw, winRaw uint8) bool {
+		n := 1 + int(nRaw)%200
+		bs := 1 + int(bsRaw)%65
+		win := int(winRaw) % 100
+		buf := randomBuffer(g, n, seed)
+		for _, pol := range []Policy{FCFS{}, Affinity{Profile: p, Window: win}} {
+			batches := pol.MakeBatches(buf, bs)
+			seen := make([]bool, n)
+			for _, b := range batches {
+				if len(b) == 0 || len(b) > bs {
+					return false
+				}
+				for _, i := range b {
+					if i < 0 || i >= n || seen[i] {
+						return false
+					}
+					seen[i] = true
+				}
+			}
+			for _, s := range seen {
+				if !s {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package stats provides the small numeric and formatting helpers the
+// benchmark harness uses: geometric/arithmetic means, speedup ratios, and a
+// plain-text table renderer for reproducing the paper's tables on stdout.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Geomean returns the geometric mean of positive inputs (0 for empty input;
+// non-positive entries are skipped, as the paper's geomean rows do for
+// missing cells).
+func Geomean(xs []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			logSum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Speedup returns base/x — how many times faster x is than base.
+func Speedup(base, x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return base / x
+}
+
+// Table renders rows with a header as aligned plain text, in the style the
+// experiment harness prints paper tables.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowF appends a row formatting each value with the given verb (e.g.
+// "%.2f"); strings pass through unchanged.
+func (t *Table) AddRowF(label string, verb string, vals ...float64) {
+	cells := []string{label}
+	for _, v := range vals {
+		cells = append(cells, fmt.Sprintf(verb, v))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-style CSV (header row first, fields
+// quoted when they contain separators), for piping experiment results into
+// plotting tools.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// FormatDuration renders seconds with adaptive precision ("1.53s", "412ms").
+func FormatDuration(seconds float64) string {
+	switch {
+	case seconds >= 1:
+		return fmt.Sprintf("%.2fs", seconds)
+	case seconds >= 1e-3:
+		return fmt.Sprintf("%.1fms", seconds*1e3)
+	default:
+		return fmt.Sprintf("%.0fµs", seconds*1e6)
+	}
+}
+
+// FormatCount renders large counts with suffixes ("1.5M", "2.3B").
+func FormatCount(x float64) string {
+	switch {
+	case x >= 1e9:
+		return fmt.Sprintf("%.2fB", x/1e9)
+	case x >= 1e6:
+		return fmt.Sprintf("%.2fM", x/1e6)
+	case x >= 1e3:
+		return fmt.Sprintf("%.1fK", x/1e3)
+	default:
+		return fmt.Sprintf("%.0f", x)
+	}
+}

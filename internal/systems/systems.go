@@ -1,0 +1,213 @@
+// Package systems wires the engines (internal/core, internal/baselines),
+// the alignment profile (internal/align) and the batching policies
+// (internal/sched) into the named evaluation methods of paper Table 5:
+//
+//	Ligra-S, Ligra-C, GraphM, Krill,
+//	Glign-Intra, Glign-Inter, Glign-Batch, Glign,
+//
+// plus the §4.8 iBFS reimplementation and the §4.1 query-level-parallelism
+// design. A method consumes a query buffer, partitions it into evaluation
+// batches, evaluates every batch, and reports aggregate statistics — the
+// unit all throughput experiments are built on.
+package systems
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/glign/glign/internal/align"
+	"github.com/glign/glign/internal/baselines"
+	"github.com/glign/glign/internal/core"
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/memtrace"
+	"github.com/glign/glign/internal/queries"
+	"github.com/glign/glign/internal/sched"
+)
+
+// Method names.
+const (
+	LigraS        = "Ligra-S"
+	LigraC        = "Ligra-C"
+	GraphM        = "GraphM"
+	Krill         = "Krill"
+	GlignIntra    = "Glign-Intra"
+	GlignInter    = "Glign-Inter"
+	GlignBatch    = "Glign-Batch"
+	Glign         = "Glign"
+	IBFS          = "iBFS"
+	QueryParallel = "Query-Parallel"
+	Congra        = "Congra"
+)
+
+// AllMethods lists every method in the paper's presentation order.
+func AllMethods() []string {
+	return []string{LigraS, LigraC, GraphM, Krill, GlignIntra, GlignInter, GlignBatch, Glign}
+}
+
+// Config parameterizes a method run.
+type Config struct {
+	// BatchSize is |B|, the number of queries evaluated concurrently
+	// (paper default: 64).
+	BatchSize int
+	// Workers bounds parallelism (<= 0: GOMAXPROCS).
+	Workers int
+	// Window is the affinity-batching window B_w (<= 0: whole buffer).
+	Window int
+	// Profile supplies closestHV; required by Glign-Inter, Glign-Batch and
+	// Glign, ignored otherwise. Run builds it on demand when nil.
+	Profile *align.Profile
+	// Tracer, when set, receives the memory accesses of every batch (one
+	// shared simulated cache across the whole buffer run).
+	Tracer memtrace.Tracer
+	// KeepValues retains per-query result vectors for verification
+	// (memory-heavy: n*|buffer| float64s).
+	KeepValues bool
+	// DirectionOptimized enables push/pull hybrid iterations in the
+	// query-oblivious engine (an extension beyond the paper; requires a
+	// profile, whose reversed graph is reused). Ignored by other engines
+	// and by traced runs.
+	DirectionOptimized bool
+}
+
+// Result aggregates a method run over a whole buffer.
+type Result struct {
+	Method   string
+	Duration time.Duration
+	// Batches[i] lists buffer indices of batch i, in evaluation order.
+	Batches [][]int
+	// BatchDurations[i] is the evaluation time of batch i. A query's
+	// latency under FCFS arrival is the prefix sum up to and including its
+	// batch — the latency accounting the paper leaves as future work
+	// (§4.1).
+	BatchDurations []time.Duration
+	// Alignments[i] is the alignment vector used for batch i (nil = zeros).
+	Alignments [][]int
+	// TotalIterations sums global iterations over batches.
+	TotalIterations int
+	// EdgesProcessed / LaneRelaxations aggregate engine counters.
+	EdgesProcessed  int64
+	LaneRelaxations int64
+	// Values[bufferIdx] is the query's full result vector when
+	// Config.KeepValues is set.
+	Values map[int][]queries.Value
+}
+
+// methodPlan is the (policy, engine, aligned) decomposition of a method.
+type methodPlan struct {
+	policy  sched.Policy
+	engine  core.Engine
+	aligned bool
+}
+
+func planFor(method string, g *graph.Graph, prof *align.Profile, cfg Config) (methodPlan, error) {
+	fcfs := sched.FCFS{}
+	switch method {
+	case LigraS:
+		return methodPlan{fcfs, core.LigraS, false}, nil
+	case LigraC:
+		return methodPlan{fcfs, core.LigraC, false}, nil
+	case GraphM:
+		return methodPlan{fcfs, baselines.GraphM{}, false}, nil
+	case Krill:
+		return methodPlan{fcfs, core.Krill, false}, nil
+	case GlignIntra:
+		return methodPlan{fcfs, core.GlignIntra, false}, nil
+	case GlignInter:
+		return methodPlan{fcfs, core.GlignIntra, true}, nil
+	case GlignBatch:
+		return methodPlan{sched.Affinity{Profile: prof, Window: cfg.Window}, core.GlignIntra, false}, nil
+	case Glign:
+		return methodPlan{sched.Affinity{Profile: prof, Window: cfg.Window}, core.GlignIntra, true}, nil
+	case IBFS:
+		return methodPlan{baselines.IBFS{Graph: g}, core.LigraC, false}, nil
+	case QueryParallel:
+		return methodPlan{fcfs, baselines.QueryParallel{}, false}, nil
+	case Congra:
+		return methodPlan{fcfs, baselines.Congra{}, false}, nil
+	}
+	return methodPlan{}, fmt.Errorf("systems: unknown method %q", method)
+}
+
+// NeedsProfile reports whether the method requires the alignment profile.
+func NeedsProfile(method string) bool {
+	switch method {
+	case GlignInter, GlignBatch, Glign:
+		return true
+	}
+	return false
+}
+
+// Run evaluates the whole buffer with the named method. The returned
+// Duration covers batching and evaluation, not profile construction (the
+// profile is a one-time per-graph cost, reported separately — paper
+// Table 14).
+func Run(method string, g *graph.Graph, buffer []queries.Query, cfg Config) (*Result, error) {
+	if len(buffer) == 0 {
+		return nil, fmt.Errorf("systems: empty buffer")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	prof := cfg.Profile
+	if prof == nil && (NeedsProfile(method) || cfg.DirectionOptimized) {
+		prof = align.NewProfile(g, align.DefaultHubCount, cfg.Workers)
+	}
+	plan, err := planFor(method, g, prof, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Method: method}
+	if cfg.KeepValues {
+		res.Values = make(map[int][]queries.Value, len(buffer))
+	}
+
+	start := time.Now()
+	res.Batches = plan.policy.MakeBatches(buffer, cfg.BatchSize)
+	res.Alignments = make([][]int, len(res.Batches))
+	for bi, idx := range res.Batches {
+		batch := sched.Select(buffer, idx)
+		opt := core.Options{Workers: cfg.Workers, Tracer: cfg.Tracer}
+		if cfg.DirectionOptimized && plan.engine.Name() == core.GlignIntra.Name() {
+			opt.ReverseGraph = prof.Rev
+		}
+		if plan.aligned {
+			opt.Alignment = prof.AlignmentVector(batch)
+			res.Alignments[bi] = opt.Alignment
+		}
+		batchStart := time.Now()
+		br, err := plan.engine.Run(g, batch, opt)
+		if err != nil {
+			return nil, fmt.Errorf("systems: %s batch %d: %w", method, bi, err)
+		}
+		res.BatchDurations = append(res.BatchDurations, time.Since(batchStart))
+		res.TotalIterations += br.GlobalIterations
+		res.EdgesProcessed += br.EdgesProcessed
+		res.LaneRelaxations += br.LaneRelaxations
+		if cfg.KeepValues {
+			for qi, bufferIdx := range idx {
+				res.Values[bufferIdx] = br.QueryValues(qi)
+			}
+		}
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// QueryLatency returns the completion latency of the query at bufferIdx:
+// the time from the start of the run until its batch finished. It returns
+// false if the index was never scheduled.
+func (r *Result) QueryLatency(bufferIdx int) (time.Duration, bool) {
+	var acc time.Duration
+	for bi, idx := range r.Batches {
+		if bi >= len(r.BatchDurations) {
+			break
+		}
+		acc += r.BatchDurations[bi]
+		for _, qi := range idx {
+			if qi == bufferIdx {
+				return acc, true
+			}
+		}
+	}
+	return 0, false
+}

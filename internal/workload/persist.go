@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/queries"
+)
+
+// Query buffers persist as plain text, one query per line: "KERNEL source".
+// '#' lines are comments. The format lets a sampled workload be pinned in a
+// repository and replayed bit-identically across machines — the role the
+// original artifact's "input query files" play.
+
+// WriteBuffer writes a query buffer.
+func WriteBuffer(w io.Writer, buffer []queries.Query) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# glign query buffer: %d queries\n", len(buffer))
+	for _, q := range buffer {
+		fmt.Fprintf(bw, "%s %d\n", q.Kernel.Name(), q.Source)
+	}
+	return bw.Flush()
+}
+
+// ReadBuffer parses a query buffer; sources are validated against n when
+// n > 0.
+func ReadBuffer(r io.Reader, n int) ([]queries.Query, error) {
+	sc := bufio.NewScanner(r)
+	var buffer []queries.Query
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("workload: line %d: want 'KERNEL source', got %q", lineNo, line)
+		}
+		k, err := queries.ByName(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %v", lineNo, err)
+		}
+		src, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad source: %v", lineNo, err)
+		}
+		if n > 0 && int(src) >= n {
+			return nil, fmt.Errorf("workload: line %d: source %d out of range (n=%d)", lineNo, src, n)
+		}
+		buffer = append(buffer, queries.Query{Kernel: k, Source: graph.VertexID(src)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return buffer, nil
+}
+
+// SaveBuffer writes a buffer to path.
+func SaveBuffer(path string, buffer []queries.Query) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteBuffer(f, buffer)
+}
+
+// LoadBuffer reads a buffer from path (sources validated against n if > 0).
+func LoadBuffer(path string, n int) ([]queries.Query, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBuffer(f, n)
+}

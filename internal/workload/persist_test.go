@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/glign/glign/internal/queries"
+)
+
+func TestBufferRoundTrip(t *testing.T) {
+	g, p := setup(t)
+	buf := Heter(Sources(g, p, 20, 16), 17)
+	var b bytes.Buffer
+	if err := WriteBuffer(&b, buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBuffer(&b, g.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(buf) {
+		t.Fatalf("len = %d, want %d", len(got), len(buf))
+	}
+	for i := range buf {
+		if got[i].Kernel.Name() != buf[i].Kernel.Name() || got[i].Source != buf[i].Source {
+			t.Fatalf("query %d: %v != %v", i, got[i], buf[i])
+		}
+	}
+}
+
+func TestBufferFileRoundTrip(t *testing.T) {
+	g, p := setup(t)
+	buf := Homogeneous(queries.SSWP, Sources(g, p, 5, 18))
+	path := filepath.Join(t.TempDir(), "buf.txt")
+	if err := SaveBuffer(path, buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBuffer(path, g.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || got[0].Kernel.Name() != "SSWP" {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := LoadBuffer(filepath.Join(t.TempDir(), "missing"), 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestReadBufferErrors(t *testing.T) {
+	cases := []string{
+		"SSSP\n",           // missing source
+		"NOPE 3\n",         // unknown kernel
+		"SSSP zebra\n",     // bad source
+		"SSSP 999999999\n", // out of range for n
+	}
+	for _, in := range cases {
+		if _, err := ReadBuffer(strings.NewReader(in), 100); err == nil {
+			t.Fatalf("input %q accepted", in)
+		}
+	}
+	// Comments and blanks are fine.
+	got, err := ReadBuffer(strings.NewReader("# hi\n\nBFS 3\n"), 100)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package workload generates the query workloads of the paper's evaluation
+// (§4.1): source vertices sampled with the hop-bin strategy of Qi et al. —
+// vertices are divided into disjoint bins by their hop distance to the
+// top-4 high-degree vertices, and bins are scanned in rounds, picking one
+// random vertex per bin per round, until the requested number of sources is
+// selected. This spreads the sources across the whole graph structure. On
+// top of the sources it builds homogeneous per-kernel buffers and the mixed
+// "Heter" buffer.
+package workload
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/glign/glign/internal/align"
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/queries"
+)
+
+// Sources samples n source vertices from g using the hop-bin strategy.
+// prof supplies the hop distances (closestHV); sampling is deterministic in
+// seed. Vertices that cannot reach any hub are used only if the reachable
+// bins cannot satisfy n.
+func Sources(g *graph.Graph, prof *align.Profile, n int, seed int64) []graph.VertexID {
+	rng := rand.New(rand.NewSource(seed))
+	bins := map[int32][]graph.VertexID{}
+	var unreachable []graph.VertexID
+	for v := 0; v < g.NumVertices(); v++ {
+		d := prof.ClosestHV[v]
+		if d < 0 {
+			unreachable = append(unreachable, graph.VertexID(v))
+			continue
+		}
+		bins[d] = append(bins[d], graph.VertexID(v))
+	}
+	keys := make([]int32, 0, len(bins))
+	for k := range bins {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	// Shuffle each bin once; rounds then pop from the shuffled order.
+	for _, k := range keys {
+		b := bins[k]
+		rng.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+	}
+	rng.Shuffle(len(unreachable), func(i, j int) {
+		unreachable[i], unreachable[j] = unreachable[j], unreachable[i]
+	})
+
+	var out []graph.VertexID
+	for len(out) < n {
+		picked := false
+		for _, k := range keys {
+			if len(out) >= n {
+				break
+			}
+			if b := bins[k]; len(b) > 0 {
+				out = append(out, b[len(b)-1])
+				bins[k] = b[:len(b)-1]
+				picked = true
+			}
+		}
+		if !picked {
+			break
+		}
+	}
+	// Top up from unreachable vertices, then wrap around reusing sources if
+	// the graph is smaller than n (duplicates are legitimate queries).
+	for len(out) < n && len(unreachable) > 0 {
+		out = append(out, unreachable[len(unreachable)-1])
+		unreachable = unreachable[:len(unreachable)-1]
+	}
+	for i := 0; len(out) < n && len(out) > 0; i++ {
+		out = append(out, out[i%len(out)])
+	}
+	return out
+}
+
+// Homogeneous builds a buffer of the same kernel over the given sources —
+// the paper's per-benchmark query buffers.
+func Homogeneous(k queries.Kernel, sources []graph.VertexID) []queries.Query {
+	buf := make([]queries.Query, len(sources))
+	for i, s := range sources {
+		buf[i] = queries.Query{Kernel: k, Source: s}
+	}
+	return buf
+}
+
+// Heter builds the paper's mixed buffer: each query's type is drawn
+// uniformly from {BFS, SSSP, SSWP, SSNP} (§4.1).
+func Heter(sources []graph.VertexID, seed int64) []queries.Query {
+	rng := rand.New(rand.NewSource(seed))
+	mix := queries.HeterogeneousSet()
+	buf := make([]queries.Query, len(sources))
+	for i, s := range sources {
+		buf[i] = queries.Query{Kernel: mix[rng.Intn(len(mix))], Source: s}
+	}
+	return buf
+}
+
+// BufferFor returns the buffer for a named workload: one of the five kernel
+// names or "Heter".
+func BufferFor(name string, sources []graph.VertexID, seed int64) ([]queries.Query, error) {
+	if name == "Heter" {
+		return Heter(sources, seed), nil
+	}
+	k, err := queries.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return Homogeneous(k, sources), nil
+}
+
+// WorkloadNames lists the six workloads of the paper's tables (five
+// kernels + Heter).
+func WorkloadNames() []string {
+	names := make([]string, 0, 6)
+	for _, k := range queries.All() {
+		names = append(names, k.Name())
+	}
+	return append(names, "Heter")
+}

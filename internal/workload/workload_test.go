@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/glign/glign/internal/align"
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/queries"
+)
+
+func setup(t *testing.T) (*graph.Graph, *align.Profile) {
+	t.Helper()
+	g := graph.MustGenerate(graph.LJ, graph.Tiny)
+	return g, align.NewProfile(g, 4, 2)
+}
+
+func TestSourcesDeterministic(t *testing.T) {
+	g, p := setup(t)
+	a := Sources(g, p, 64, 7)
+	b := Sources(g, p, 64, 7)
+	if len(a) != 64 || len(b) != 64 {
+		t.Fatalf("lengths %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+	c := Sources(g, p, 64, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical samples")
+	}
+}
+
+func TestSourcesCoverHopBins(t *testing.T) {
+	g, p := setup(t)
+	srcs := Sources(g, p, 128, 9)
+	// Round-robin over bins means the sample must span multiple distinct
+	// hop distances.
+	dists := map[int32]bool{}
+	for _, s := range srcs {
+		dists[p.ClosestHV[s]] = true
+	}
+	if len(dists) < 3 {
+		t.Fatalf("sources cover only %d hop bins", len(dists))
+	}
+}
+
+func TestSourcesNoDuplicatesWhenPossible(t *testing.T) {
+	g, p := setup(t)
+	srcs := Sources(g, p, 100, 10)
+	seen := map[graph.VertexID]bool{}
+	for _, s := range srcs {
+		if seen[s] {
+			t.Fatalf("duplicate source %d with %d candidates available", s, g.NumVertices())
+		}
+		seen[s] = true
+	}
+}
+
+func TestSourcesMoreThanVertices(t *testing.T) {
+	g := graph.PaperExample()
+	p := align.NewProfile(g, 2, 1)
+	srcs := Sources(g, p, 30, 11)
+	if len(srcs) != 30 {
+		t.Fatalf("got %d sources, want 30 (with wrap-around)", len(srcs))
+	}
+}
+
+func TestHomogeneousAndHeter(t *testing.T) {
+	g, p := setup(t)
+	srcs := Sources(g, p, 32, 12)
+	hom := Homogeneous(queries.SSWP, srcs)
+	if len(hom) != 32 {
+		t.Fatal("homogeneous length")
+	}
+	for i, q := range hom {
+		if q.Kernel.Name() != "SSWP" || q.Source != srcs[i] {
+			t.Fatalf("bad query %v", q)
+		}
+	}
+	het := Heter(srcs, 13)
+	kinds := map[string]bool{}
+	for _, q := range het {
+		kinds[q.Kernel.Name()] = true
+		if q.Kernel.Name() == "Viterbi" {
+			t.Fatal("Viterbi must not appear in Heter")
+		}
+	}
+	if len(kinds) < 3 {
+		t.Fatalf("heter mix uses only %d kernel types", len(kinds))
+	}
+}
+
+func TestBufferFor(t *testing.T) {
+	g, p := setup(t)
+	srcs := Sources(g, p, 8, 14)
+	for _, name := range WorkloadNames() {
+		buf, err := BufferFor(name, srcs, 15)
+		if err != nil || len(buf) != 8 {
+			t.Fatalf("%s: %v (%d)", name, err, len(buf))
+		}
+	}
+	if _, err := BufferFor("nope", srcs, 15); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestWorkloadNames(t *testing.T) {
+	names := WorkloadNames()
+	if len(names) != 6 || names[5] != "Heter" {
+		t.Fatalf("names = %v", names)
+	}
+}

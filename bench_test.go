@@ -19,6 +19,7 @@ import (
 	"github.com/glign/glign/internal/engine"
 	"github.com/glign/glign/internal/graph"
 	"github.com/glign/glign/internal/queries"
+	"github.com/glign/glign/internal/telemetry"
 	"github.com/glign/glign/internal/workload"
 )
 
@@ -110,6 +111,39 @@ func benchBatchEngine(b *testing.B, e core.Engine) {
 func BenchmarkBatchLigraC(b *testing.B)     { benchBatchEngine(b, core.LigraC) }
 func BenchmarkBatchKrill(b *testing.B)      { benchBatchEngine(b, core.Krill) }
 func BenchmarkBatchGlignIntra(b *testing.B) { benchBatchEngine(b, core.GlignIntra) }
+
+// Telemetry overhead guard: the same Glign-Intra batch with telemetry
+// absent (the nil fast path every production run without -metrics-out
+// takes) versus attached to a live collector. Compare with
+//
+//	go test -bench=BenchmarkTelemetry -count=10 | benchstat
+//
+// OBSERVABILITY.md records the measured numbers; the budget is <= 3%
+// for the disabled path.
+func BenchmarkTelemetryOff(b *testing.B) { benchTelemetry(b, false) }
+func BenchmarkTelemetryOn(b *testing.B)  { benchTelemetry(b, true) }
+
+func benchTelemetry(b *testing.B, enabled bool) {
+	g, batch := benchGraph()
+	var col *telemetry.Collector
+	if enabled {
+		col = telemetry.NewCollector()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt := core.Options{}
+		if enabled {
+			opt.Telemetry = col.StartRun("bench", "FCFS").StartBatch("Glign-Intra", nil, nil)
+		}
+		res, err := core.GlignIntra.Run(g, batch, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.GlobalIterations == 0 {
+			b.Fatal("no iterations")
+		}
+	}
+}
 
 // Cache-simulator microbenchmark: touches/sec on a streaming pattern.
 func BenchmarkCacheSimStream(b *testing.B) {

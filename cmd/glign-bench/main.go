@@ -8,9 +8,11 @@
 //	glign-bench -exp fig11                 # overall speedups
 //	glign-bench -exp all -short            # everything, CI scale
 //	glign-bench -exp tab9 -graphs LJ,TW -workloads BFS,SSSP -size small
+//	glign-bench -exp fig11 -short -metrics-out m.json   # per-iteration telemetry
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +21,7 @@ import (
 
 	"github.com/glign/glign/internal/bench"
 	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/telemetry"
 )
 
 func main() {
@@ -42,6 +45,7 @@ func run() error {
 		graphsCSV = flag.String("graphs", "", "restrict to datasets (comma-separated)")
 		wlCSV     = flag.String("workloads", "", "restrict to workloads (comma-separated)")
 		csvOut    = flag.Bool("csv", false, "emit CSV instead of aligned text tables")
+		metricOut = flag.String("metrics-out", "", "write a telemetry snapshot (per-iteration frontier sizes, edges relaxed, batch compositions) as JSON to this file")
 	)
 	flag.Parse()
 
@@ -98,6 +102,9 @@ func run() error {
 		}
 	}
 	cfg.CSV = *csvOut
+	if *metricOut != "" {
+		cfg.Telemetry = telemetry.NewCollector()
+	}
 
 	var exps []bench.Experiment
 	if *exp == "all" {
@@ -118,6 +125,18 @@ func run() error {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+	}
+	if *metricOut != "" {
+		raw, err := json.MarshalIndent(cfg.Telemetry.Snapshot(), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*metricOut, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		c := cfg.Telemetry.Counters.Snapshot()
+		fmt.Printf("telemetry: %d method runs, %d batches, %d iterations -> %s\n",
+			c.Runs, c.Batches, c.Iterations, *metricOut)
 	}
 	return nil
 }

@@ -13,11 +13,17 @@
 //
 //	# explicit sources on a graph loaded from disk
 //	glign -graph web.txt -directed -kernel SSWP -sources 3,17,99
+//
+//	# observe the run: expvar + pprof endpoint and a JSON metrics snapshot
+//	glign -dataset LJ -size small -kernel SSSP -n 64 -listen :6060 -metrics-out metrics.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -listen endpoint
 	"os"
 	"strconv"
 	"strings"
@@ -25,6 +31,7 @@ import (
 	glign "github.com/glign/glign"
 	"github.com/glign/glign/internal/align"
 	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/telemetry"
 	"github.com/glign/glign/internal/workload"
 )
 
@@ -52,8 +59,25 @@ func run() error {
 		seed      = flag.Int64("seed", 1, "workload sampling seed")
 		verbose   = flag.Bool("v", false, "print per-query summaries")
 		verify    = flag.Int("verify", 0, "verify this many queries against an independent reference (0 = none, -1 = all)")
+		listen    = flag.String("listen", "", "serve live telemetry (expvar at /debug/vars) and pprof (/debug/pprof) on this address during evaluation, e.g. :6060")
+		hold      = flag.Bool("hold", false, "with -listen: keep serving after evaluation until interrupted")
+		metricOut = flag.String("metrics-out", "", "write the telemetry snapshot as JSON to this file")
 	)
 	flag.Parse()
+
+	var tel *glign.Telemetry
+	if *listen != "" || *metricOut != "" {
+		tel = glign.NewTelemetry()
+		telemetry.Publish("glign", tel)
+	}
+	if *listen != "" {
+		go func() {
+			if err := http.ListenAndServe(*listen, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "glign: -listen:", err)
+			}
+		}()
+		fmt.Printf("serving telemetry on http://%s/debug/vars (pprof at /debug/pprof)\n", *listen)
+	}
 
 	g, err := loadGraph(*graphPath, *directed, *dataset, *size)
 	if err != nil {
@@ -79,7 +103,8 @@ func run() error {
 	rt, err := glign.NewRuntime(g,
 		glign.WithMethod(*method),
 		glign.WithBatchSize(*batch),
-		glign.WithWorkers(*workers))
+		glign.WithWorkers(*workers),
+		glign.WithTelemetry(tel))
 	if err != nil {
 		return err
 	}
@@ -105,7 +130,31 @@ func run() error {
 			fmt.Printf("  %-14s reached %d vertices\n", q.String(), rep.Reached(i))
 		}
 	}
+	if tel != nil {
+		c := tel.Counters.Snapshot()
+		fmt.Printf("telemetry: %d iterations (%d pull), %d edges processed, %d lane relaxations, %d value writes, %d delayed starts\n",
+			c.Iterations, c.PullIterations, c.EdgesProcessed, c.LaneRelaxations, c.ValueWrites, c.DelayedQueries)
+	}
+	if *metricOut != "" {
+		if err := writeMetrics(*metricOut, tel); err != nil {
+			return err
+		}
+		fmt.Printf("telemetry snapshot written to %s\n", *metricOut)
+	}
+	if *listen != "" && *hold {
+		fmt.Printf("evaluation done; still serving on %s (interrupt to exit)\n", *listen)
+		select {}
+	}
 	return nil
+}
+
+// writeMetrics serializes the collector snapshot as indented JSON.
+func writeMetrics(path string, tel *glign.Telemetry) error {
+	raw, err := json.MarshalIndent(tel.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }
 
 func loadGraph(path string, directed bool, dataset, size string) (*glign.Graph, error) {

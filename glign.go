@@ -39,6 +39,7 @@ import (
 	"github.com/glign/glign/internal/graph"
 	"github.com/glign/glign/internal/queries"
 	"github.com/glign/glign/internal/systems"
+	"github.com/glign/glign/internal/telemetry"
 	"github.com/glign/glign/internal/workload"
 )
 
@@ -175,6 +176,29 @@ func WithBatchingWindow(bw int) Option { return func(r *Runtime) { r.cfg.Window 
 // WithHubCount sets K, the number of high-degree vertices probed by the
 // alignment profile (default 4, as in the paper).
 func WithHubCount(k int) Option { return func(r *Runtime) { r.hubCount = k } }
+
+// Telemetry collects runtime metrics: global counters and histograms plus
+// per-run, per-batch, per-iteration timelines (see internal/telemetry and
+// OBSERVABILITY.md for the schema). One Telemetry may be shared by several
+// Runtimes; Snapshot serializes its state to the machine-readable form.
+type Telemetry = telemetry.Collector
+
+// Metrics is the JSON-serializable snapshot of a Telemetry collector.
+type Metrics = telemetry.Metrics
+
+// RunMetrics is the per-iteration timeline of one Run call, returned by
+// Report.Metrics.
+type RunMetrics = telemetry.RunMetrics
+
+// NewTelemetry returns an empty telemetry collector for WithTelemetry.
+func NewTelemetry() *Telemetry { return telemetry.NewCollector() }
+
+// WithTelemetry attaches a telemetry collector to the runtime: every Run
+// records per-iteration engine metrics (frontier sizes, edges relaxed,
+// value writes, delayed starts) and scheduler decisions into t, and
+// Report.Metrics exposes the run's timeline. A nil t (or omitting the
+// option) disables collection at near-zero cost.
+func WithTelemetry(t *Telemetry) Option { return func(r *Runtime) { r.cfg.Telemetry = t } }
 
 // WithDirectionOptimization enables push/pull hybrid global iterations in
 // the Glign engines (an extension beyond the paper): dense iterations run
@@ -313,6 +337,13 @@ func (rep *Report) DurationSeconds() float64 { return rep.res.Duration.Seconds()
 // Batches returns the evaluation batches as buffer-index lists, in the
 // order they ran (exposes what affinity-oriented batching decided).
 func (rep *Report) Batches() [][]int { return rep.res.Batches }
+
+// Metrics returns the run's telemetry timeline — per-batch, per-iteration
+// frontier sizes, edges relaxed, value writes, alignment vectors, and the
+// scheduler decisions that formed the batches. It returns nil unless the
+// runtime was built WithTelemetry. The snapshot is an independent copy;
+// it does not change as the collector observes further runs.
+func (rep *Report) Metrics() *RunMetrics { return rep.res.Telemetry.Snapshot() }
 
 // TotalIterations is the number of global iterations summed over batches.
 func (rep *Report) TotalIterations() int { return rep.res.TotalIterations }

@@ -1,0 +1,16 @@
+// Package align implements Glign's inter-iteration alignment machinery
+// (paper §3.3): the one-time per-graph profile (reverse BFS from the top-K
+// high-out-degree hubs), the heavy-iteration arrival estimate closestHV[],
+// the alignment-vector heuristic of Figure 9, the affinity metric of
+// Definition 3.4 (vertex- and edge-based), and the exhaustive ground-truth
+// optimal alignment used by the paper's Table 13 study.
+//
+// The profile is built once per graph and shared by everything downstream:
+// internal/sched ranks queries by closestHV for affinity-oriented batching
+// (§3.4), internal/systems turns per-batch estimates into the alignment
+// vectors the core engines honor as delayed starts, and internal/workload
+// uses the hub distances for hop-bin source sampling (§4.1). The alignment
+// offsets chosen here surface in telemetry as the delayed_queries /
+// delay_offset_sum counters and each batch's alignment vector (see
+// OBSERVABILITY.md).
+package align

@@ -1,9 +1,3 @@
-// Package align implements Glign's inter-iteration alignment machinery
-// (paper §3.3): the one-time per-graph profile (reverse BFS from the top-K
-// high-out-degree hubs), the heavy-iteration arrival estimate closestHV[],
-// the alignment-vector heuristic of Figure 9, the affinity metric of
-// Definition 3.4 (vertex- and edge-based), and the exhaustive ground-truth
-// optimal alignment used by the paper's Table 13 study.
 package align
 
 import (

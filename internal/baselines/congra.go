@@ -48,9 +48,13 @@ func (e Congra) Run(g *graph.Graph, batch []queries.Query, opt core.Options) (*c
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			// Each query gets its own asynchronous parallel evaluation.
+			// Telemetry records interleave across queries — exactly the
+			// uncontrolled iteration structure the design has.
 			r := engine.Run(g, q, engine.Options{
 				Workers:       opt.Workers,
 				MaxIterations: opt.MaxIterations,
+				Telemetry:     opt.Telemetry,
+				TelemetryLane: i,
 			})
 			for v := 0; v < st.N; v++ {
 				st.Vals.Set(v*st.B+i, r.Values[v])
@@ -61,6 +65,7 @@ func (e Congra) Run(g *graph.Graph, batch []queries.Query, opt core.Options) (*c
 			}
 			res.EdgesProcessed += r.EdgesTraversed
 			res.LaneRelaxations += r.EdgesTraversed
+			res.ValueWrites += r.ValueWrites
 			mu.Unlock()
 		}(i, q)
 	}

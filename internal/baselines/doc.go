@@ -1,0 +1,20 @@
+// Package baselines implements the comparator systems of the paper's
+// evaluation that are not Ligra-derived engines:
+//
+//   - GraphM: a partition-centric concurrent engine in the style of GraphM
+//     (Zhao et al., SC'19), streaming cache-sized CSR partitions past all
+//     active queries (paper Table 5's "GraphM" row).
+//   - Congra: asynchronous per-query evaluation sharing the graph but not
+//     the traversal, the design point Glign's intra-iteration alignment
+//     argues against (§2.2).
+//   - IBFS: the iBFS query-grouping heuristic (§4.8), reimplemented as a
+//     sched.Policy that groups BFS queries by shared early frontiers.
+//   - QueryParallel: the BGL-style one-thread-per-query design dismissed in
+//     §4.1.
+//
+// Engines here record the same per-iteration telemetry as internal/core
+// (frontier sizes, edges processed, value writes) so that misalignment in a
+// baseline run is visible in the same metrics JSON as a Glign run; see
+// OBSERVABILITY.md. QueryParallel is the one exception — its per-query
+// threads share no iteration structure to report.
+package baselines

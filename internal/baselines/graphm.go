@@ -1,8 +1,3 @@
-// Package baselines implements the comparator systems of the paper's
-// evaluation that are not Ligra-derived engines: a GraphM-style
-// partition-centric concurrent engine, the iBFS query-grouping heuristic
-// (§4.8), and the BGL-style query-level-parallelism design dismissed in
-// §4.1.
 package baselines
 
 import (
@@ -14,6 +9,7 @@ import (
 	"github.com/glign/glign/internal/graph"
 	"github.com/glign/glign/internal/par"
 	"github.com/glign/glign/internal/queries"
+	"github.com/glign/glign/internal/telemetry"
 )
 
 // GraphM models GraphM (Zhao et al., SC'19), which is built on the
@@ -85,10 +81,12 @@ func (e GraphM) Run(g *graph.Graph, batch []queries.Query, opt core.Options) (*c
 	}
 
 	for iter := 0; ; iter++ {
+		injected := 0
 		for _, qi := range st.InjectionsAt(iter) {
 			src := st.Sources[qi]
 			st.Vals.Set(int(src)*b+qi, st.Kernels[qi].SourceValue())
 			sep[qi].Add(src)
+			injected++
 		}
 		unionCount := 0
 		for _, s := range sep {
@@ -102,6 +100,7 @@ func (e GraphM) Run(g *graph.Graph, batch []queries.Query, opt core.Options) (*c
 		}
 		res.UnionFrontierSizes = append(res.UnionFrontierSizes, unionCount)
 		res.GlobalIterations++
+		prevEdges, prevRelaxes, prevWrites := res.EdgesProcessed, res.LaneRelaxations, res.ValueWrites
 
 		// Materialize sparse views up front: the partition workers below
 		// only read them. Each materialization scans the query's frontier
@@ -122,7 +121,7 @@ func (e GraphM) Run(g *graph.Graph, batch []queries.Query, opt core.Options) (*c
 		// are processed in parallel; within a block, jobs run one after
 		// another (each job is independent in GraphM).
 		par.For(len(parts), workers, 1, func(plo, phi int) {
-			var edges, relaxes int64
+			var edges, relaxes, writes int64
 			for pi := plo; pi < phi; pi++ {
 				vlo, vhi := parts[pi][0], parts[pi][1]
 				for qi := 0; qi < b; qi++ {
@@ -155,6 +154,7 @@ func (e GraphM) Run(g *graph.Graph, batch []queries.Query, opt core.Options) (*c
 								tr.Access(addr.ValueAddr(int(d)*b+qi), 8, false)
 							}
 							if queries.RelaxImprove(st.Vals, kind, k, int(d)*b+qi, sv, w) {
+								writes++
 								if tr != nil {
 									tr.Access(addr.ValueAddr(int(d)*b+qi), 8, true)
 									tr.Access(addr.SepNextWordAddr(qi, d), 8, true)
@@ -167,8 +167,22 @@ func (e GraphM) Run(g *graph.Graph, batch []queries.Query, opt core.Options) (*c
 			}
 			atomic.AddInt64(&res.EdgesProcessed, edges)
 			atomic.AddInt64(&res.LaneRelaxations, relaxes)
+			atomic.AddInt64(&res.ValueWrites, writes)
 		})
 		sep = nextSep
+		if opt.Telemetry != nil {
+			opt.Telemetry.RecordIteration(telemetry.IterationStat{
+				Iter:            iter,
+				Query:           -1,
+				FrontierSize:    unionCount,
+				Mode:            telemetry.ModePush,
+				ActiveQueries:   st.ActiveAt(iter),
+				InjectedQueries: injected,
+				EdgesProcessed:  res.EdgesProcessed - prevEdges,
+				LaneRelaxations: res.LaneRelaxations - prevRelaxes,
+				ValueWrites:     res.ValueWrites - prevWrites,
+			})
+		}
 		if tr != nil {
 			addr.SwapFrontiers()
 		}

@@ -7,6 +7,7 @@ import (
 	"github.com/glign/glign/internal/graph"
 	"github.com/glign/glign/internal/queries"
 	"github.com/glign/glign/internal/sched"
+	"github.com/glign/glign/internal/telemetry"
 )
 
 // IBFS implements the query-grouping heuristic of iBFS (Liu et al.,
@@ -28,6 +29,9 @@ type IBFS struct {
 	// (condition ii); <= 0 derives the degree of the graph's
 	// align.DefaultHubCount-th largest hub.
 	Q int
+	// Telemetry, when non-nil, receives the grouping decision (the ranked
+	// order the heuristic chose over the whole buffer).
+	Telemetry *telemetry.RunTrace
 }
 
 // Name implements sched.Policy.
@@ -106,6 +110,18 @@ func (h IBFS) MakeBatches(buffer []queries.Query, batchSize int) [][]int {
 	}
 	carry = append(carry, rest...)
 	flushCarry()
+	if h.Telemetry != nil {
+		order := make([]int, 0, len(buffer))
+		for _, b := range batches {
+			order = append(order, b...)
+		}
+		h.Telemetry.RecordDecision(telemetry.BatchingDecision{
+			Policy:      h.Name(),
+			WindowStart: 0,
+			WindowEnd:   len(buffer),
+			Order:       order,
+		})
+	}
 	return batches
 }
 

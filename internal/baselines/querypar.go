@@ -13,7 +13,9 @@ import (
 // dismisses in §4.1: every query is evaluated with a serial textbook
 // implementation (as from the Boost Graph Library), and different queries
 // run on different threads. It shares nothing — no frontiers, no global
-// iterations — and serves as a lower baseline.
+// iterations — and serves as a lower baseline. Having no iteration
+// structure, it is the one engine that records no per-iteration telemetry
+// (batch-level durations still appear in the run trace).
 type QueryParallel struct{}
 
 // Name implements core.Engine.

@@ -1,8 +1,3 @@
-// Package bench implements the experiment harness: one runner per table and
-// figure of the paper's evaluation section (§4), each regenerating the
-// corresponding rows or series on synthetic stand-in graphs. The mapping
-// from experiment id to paper artifact is the experiment index of DESIGN.md;
-// measured-vs-paper outcomes are recorded in EXPERIMENTS.md.
 package bench
 
 import (
@@ -18,6 +13,7 @@ import (
 	"github.com/glign/glign/internal/queries"
 	"github.com/glign/glign/internal/stats"
 	"github.com/glign/glign/internal/systems"
+	"github.com/glign/glign/internal/telemetry"
 	"github.com/glign/glign/internal/workload"
 )
 
@@ -44,6 +40,11 @@ type Config struct {
 	Workloads []string
 	// CSV switches experiment output from aligned text tables to CSV.
 	CSV bool
+	// Telemetry, when non-nil, collects per-iteration engine records for
+	// every timed method run (traced LLC replays are excluded: their
+	// single-threaded access-stream runs would skew the timelines). The
+	// caller owns serialization (cmd/glign-bench -metrics-out).
+	Telemetry *telemetry.Collector
 }
 
 // DefaultConfig returns the full-harness configuration; short=true shrinks
@@ -214,6 +215,7 @@ func runTimed(method string, e *env, buffer []queries.Query, cfg Config) (time.D
 		BatchSize: cfg.BatchSize,
 		Workers:   cfg.Workers,
 		Profile:   e.prof,
+		Telemetry: cfg.Telemetry,
 	})
 	if err != nil {
 		return 0, nil, err

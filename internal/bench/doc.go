@@ -1,0 +1,14 @@
+// Package bench implements the experiment harness: one runner per table and
+// figure of the paper's evaluation section (§4), each regenerating the
+// corresponding rows or series on synthetic stand-in graphs. The mapping
+// from experiment id to paper artifact is the experiment index of DESIGN.md;
+// measured-vs-paper outcomes are recorded in EXPERIMENTS.md.
+//
+// Experiments share a per-dataset environment cache (graph, alignment
+// profile, sampled sources) so that a -exp all sweep builds each graph once.
+// Timed runs go through internal/systems; cache-miss rows replay one batch
+// through internal/cachesim instead of timing it. When Config.Telemetry is
+// set (cmd/glign-bench -metrics-out), every timed method run leaves a full
+// per-iteration trace in the collector — the raw material for the paper's
+// Figures 6-9 style analysis; see OBSERVABILITY.md.
+package bench

@@ -1,21 +1,3 @@
-// Package core implements the concurrent batch-evaluation engines at the
-// heart of this reproduction — the paper's primary contribution and its
-// baselines:
-//
-//   - LigraS: queries evaluated one after another (baseline "Ligra-S").
-//   - TwoLevel: unified + per-query separate frontiers (baseline "Ligra-C",
-//     the design of Krill and SimGQ — paper Figure 5-b).
-//   - Krill: a fused variant of the two-level design keeping per-vertex
-//     query bitmasks instead of B separate frontier arrays.
-//   - Oblivious: Glign's query-oblivious frontier (paper Figure 5-c,
-//     §3.2) — a single unified frontier with every active vertex relaxed
-//     for all queries in the batch.
-//
-// All engines share the batch value layout of paper §3.5: one flat array
-// with the value of vertex v for query i at ValArray[v*B+i], and all honor
-// an optional alignment vector (paper Definition 3.3) that delays the start
-// of individual queries to later global iterations — the mechanism of
-// Glign-Inter's "delayed start".
 package core
 
 import (
@@ -24,6 +6,7 @@ import (
 	"github.com/glign/glign/internal/graph"
 	"github.com/glign/glign/internal/memtrace"
 	"github.com/glign/glign/internal/queries"
+	"github.com/glign/glign/internal/telemetry"
 )
 
 // Options configures a batch evaluation.
@@ -45,6 +28,10 @@ type Options struct {
 	// this edge-reversed graph (see hybrid.go). Other engines and tracing
 	// runs ignore it.
 	ReverseGraph *graph.Graph
+	// Telemetry, when non-nil, receives one IterationStat per global
+	// iteration (per per-query iteration for sequential engines). Nil —
+	// the default — makes every hook a no-op nil-receiver call.
+	Telemetry *telemetry.BatchTrace
 }
 
 // BatchResult is the outcome of evaluating one batch.
@@ -67,6 +54,9 @@ type BatchResult struct {
 	// trades for locality.
 	EdgesProcessed  int64
 	LaneRelaxations int64
+	// ValueWrites counts successful relaxations — value-array improvements
+	// actually installed (the write traffic behind paper §3.5's layout).
+	ValueWrites int64
 }
 
 // Value returns the final value of vertex v for query q.
@@ -173,4 +163,48 @@ func (st *BatchSetup) InjectionsAt(iter int) []int {
 // PendingAfter reports whether any query starts strictly after iter.
 func (st *BatchSetup) PendingAfter(iter int) bool {
 	return iter < st.MaxAlign
+}
+
+// ActiveAt counts the queries whose delayed start has arrived by iter
+// (alignment offset <= iter) — the active-query count of telemetry records.
+func (st *BatchSetup) ActiveAt(iter int) int {
+	n := 0
+	for _, a := range st.Alignment {
+		if a <= iter {
+			n++
+		}
+	}
+	return n
+}
+
+// iterCounters snapshots the cumulative BatchResult counters so an engine
+// can report per-iteration deltas to telemetry.
+type iterCounters struct {
+	edges, relaxes, writes int64
+}
+
+func countersOf(res *BatchResult) iterCounters {
+	return iterCounters{res.EdgesProcessed, res.LaneRelaxations, res.ValueWrites}
+}
+
+// recordIteration emits one global-iteration record: the counter deltas
+// since prev, plus the frontier and injection state of the iteration.
+// Engines call it after each iteration's parallel phase completes (so the
+// plain reads of res counters are ordered after the workers' atomic adds).
+func recordIteration(bt *telemetry.BatchTrace, st *BatchSetup, res *BatchResult,
+	iter, frontierSize int, mode string, injected int, prev iterCounters) {
+	if bt == nil {
+		return
+	}
+	bt.RecordIteration(telemetry.IterationStat{
+		Iter:            iter,
+		Query:           -1,
+		FrontierSize:    frontierSize,
+		Mode:            mode,
+		ActiveQueries:   st.ActiveAt(iter),
+		InjectedQueries: injected,
+		EdgesProcessed:  res.EdgesProcessed - prev.edges,
+		LaneRelaxations: res.LaneRelaxations - prev.relaxes,
+		ValueWrites:     res.ValueWrites - prev.writes,
+	})
 }

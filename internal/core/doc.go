@@ -1,0 +1,26 @@
+// Package core implements the concurrent batch-evaluation engines at the
+// heart of this reproduction — the paper's primary contribution and its
+// baselines:
+//
+//   - LigraS: queries evaluated one after another (baseline "Ligra-S").
+//   - TwoLevel: unified + per-query separate frontiers (baseline "Ligra-C",
+//     the design of Krill and SimGQ — paper Figure 5-b).
+//   - Krill: a fused variant of the two-level design keeping per-vertex
+//     query bitmasks instead of B separate frontier arrays.
+//   - Oblivious: Glign's query-oblivious frontier (paper Figure 5-c,
+//     §3.2) — a single unified frontier with every active vertex relaxed
+//     for all queries in the batch. Dense iterations switch to pull mode
+//     over the reversed graph (the direction optimization, §3.5).
+//
+// All engines share the batch value layout of paper §3.5: one flat array
+// with the value of vertex v for query i at ValArray[v*B+i], and all honor
+// an optional alignment vector (paper Definition 3.3) that delays the start
+// of individual queries to later global iterations — the mechanism of
+// Glign-Inter's "delayed start".
+//
+// When Options.Telemetry is set, every engine records one IterationStat per
+// global iteration — frontier size, push/pull mode, active and injected
+// queries, edges processed, lane relaxations, value writes — at a cost of
+// one record per iteration, never per edge (see internal/telemetry and
+// OBSERVABILITY.md).
+package core

@@ -38,11 +38,11 @@ func pullIteration(rev *graph.Graph, st *BatchSetup, kinds []queries.OpKind,
 	}
 	next := frontier.New(n)
 	par.For(n, workers, 0, func(lo, hi int) {
-		var edges, relaxes int64
+		var edges, relaxes, writes int64
 		for d := lo; d < hi; d++ {
 			ins, ws := rev.OutEdges(graph.VertexID(d))
 			dbase := d * b
-			improved := false
+			improved := 0
 			for j, s := range ins {
 				if !cur.Contains(s) {
 					continue
@@ -54,36 +54,37 @@ func pullIteration(rev *graph.Graph, st *BatchSetup, kinds []queries.OpKind,
 				}
 				sbase := int(s) * b
 				relaxes += int64(b)
-				if pullEdge(st, homo, kinds, sbase, dbase, w) {
-					improved = true
-				}
+				improved += pullEdge(st, homo, kinds, sbase, dbase, w)
 			}
-			if improved {
+			if improved > 0 {
+				writes += int64(improved)
 				next.AddSync(graph.VertexID(d))
 			}
 		}
 		atomic.AddInt64(&res.EdgesProcessed, edges)
 		atomic.AddInt64(&res.LaneRelaxations, relaxes)
+		atomic.AddInt64(&res.ValueWrites, writes)
 	})
 	return next
 }
 
-// pullEdge relaxes every lane of one in-edge with the fused fast paths.
-func pullEdge(st *BatchSetup, homo queries.OpKind, kinds []queries.OpKind, sbase, dbase int, w graph.Weight) bool {
+// pullEdge relaxes every lane of one in-edge with the fused fast paths; it
+// returns how many lanes improved.
+func pullEdge(st *BatchSetup, homo queries.OpKind, kinds []queries.OpKind, sbase, dbase int, w graph.Weight) int {
 	b := st.B
-	improved := false
+	improved := 0
 	wv := queries.Value(w)
 	switch homo {
 	case queries.OpBFS:
 		for i := 0; i < b; i++ {
 			if sv := st.Vals.Get(sbase + i); sv != st.Identity[i] && st.Vals.ImproveMin(dbase+i, sv+1) {
-				improved = true
+				improved++
 			}
 		}
 	case queries.OpSSSP:
 		for i := 0; i < b; i++ {
 			if sv := st.Vals.Get(sbase + i); sv != st.Identity[i] && st.Vals.ImproveMin(dbase+i, sv+wv) {
-				improved = true
+				improved++
 			}
 		}
 	case queries.OpSSWP:
@@ -97,7 +98,7 @@ func pullEdge(st *BatchSetup, homo queries.OpKind, kinds []queries.OpKind, sbase
 				cand = sv
 			}
 			if st.Vals.ImproveMax(dbase+i, cand) {
-				improved = true
+				improved++
 			}
 		}
 	case queries.OpSSNP:
@@ -111,13 +112,13 @@ func pullEdge(st *BatchSetup, homo queries.OpKind, kinds []queries.OpKind, sbase
 				cand = sv
 			}
 			if st.Vals.ImproveMin(dbase+i, cand) {
-				improved = true
+				improved++
 			}
 		}
 	case queries.OpViterbi:
 		for i := 0; i < b; i++ {
 			if sv := st.Vals.Get(sbase + i); sv != st.Identity[i] && st.Vals.ImproveMax(dbase+i, sv/wv) {
-				improved = true
+				improved++
 			}
 		}
 	default:
@@ -127,7 +128,7 @@ func pullEdge(st *BatchSetup, homo queries.OpKind, kinds []queries.OpKind, sbase
 				continue
 			}
 			if queries.RelaxImprove(st.Vals, kinds[i], st.Kernels[i], dbase+i, sv, w) {
-				improved = true
+				improved++
 			}
 		}
 	}

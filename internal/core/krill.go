@@ -9,6 +9,7 @@ import (
 	"github.com/glign/glign/internal/graph"
 	"github.com/glign/glign/internal/par"
 	"github.com/glign/glign/internal/queries"
+	"github.com/glign/glign/internal/telemetry"
 )
 
 // krill models the Krill system (Chen et al., SC'21): like Ligra-C it
@@ -51,11 +52,13 @@ func (krill) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchResu
 	qm := frontier.NewQueryMask(n)
 
 	for iter := 0; ; iter++ {
+		injected := 0
 		for _, qi := range st.InjectionsAt(iter) {
 			src := st.Sources[qi]
 			st.Vals.Set(int(src)*b+qi, st.Kernels[qi].SourceValue())
 			qm.Set(src, qi)
 			union.Add(src)
+			injected++
 			if tr != nil {
 				tr.Access(addr.values+int64(int(src)*b+qi)*8, 8, true)
 				tr.Access(addr.qmaskCur+int64(src)*8, 8, true)
@@ -68,8 +71,13 @@ func (krill) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchResu
 		if opt.MaxIterations > 0 && iter >= opt.MaxIterations {
 			break
 		}
-		res.UnionFrontierSizes = append(res.UnionFrontierSizes, union.Count())
+		frontierSize := union.Count()
+		res.UnionFrontierSizes = append(res.UnionFrontierSizes, frontierSize)
 		res.GlobalIterations++
+		var prev iterCounters
+		if opt.Telemetry != nil {
+			prev = countersOf(res)
+		}
 
 		nextUnion := frontier.New(n)
 		nextQM := frontier.NewQueryMask(n)
@@ -78,7 +86,7 @@ func (krill) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchResu
 			TraceRegionScan(tr, addr.unionCur, int64(len(union.Words()))*8)
 		}
 		par.For(len(active), workers, 0, func(lo, hi int) {
-			var edges, relaxes int64
+			var edges, relaxes, writes int64
 			for ai := lo; ai < hi; ai++ {
 				v := active[ai]
 				base := int(v) * b
@@ -113,6 +121,7 @@ func (krill) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchResu
 							tr.Access(addr.values+int64(dbase+i)*8, 8, false)
 						}
 						if queries.RelaxImprove(st.Vals, kinds[i], st.Kernels[i], dbase+i, st.Vals.Get(base+i), w) {
+							writes++
 							anyImproved = true
 							nextQM.Set(d, i)
 							nextUnion.AddSync(d)
@@ -129,9 +138,13 @@ func (krill) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchResu
 			}
 			atomic.AddInt64(&res.EdgesProcessed, edges)
 			atomic.AddInt64(&res.LaneRelaxations, relaxes)
+			atomic.AddInt64(&res.ValueWrites, writes)
 		})
 		union = nextUnion
 		qm = nextQM
+		if opt.Telemetry != nil {
+			recordIteration(opt.Telemetry, st, res, iter, frontierSize, telemetry.ModePush, injected, prev)
+		}
 		if tr != nil {
 			addr.SwapFrontiers()
 		}

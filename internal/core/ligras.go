@@ -28,6 +28,8 @@ func (ligraS) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchRes
 			Workers:       opt.Workers,
 			MaxIterations: opt.MaxIterations,
 			Tracer:        opt.Tracer,
+			Telemetry:     opt.Telemetry,
+			TelemetryLane: i,
 		})
 		for v := 0; v < st.N; v++ {
 			st.Vals.Set(v*st.B+i, r.Values[v])
@@ -37,6 +39,7 @@ func (ligraS) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchRes
 		}
 		res.EdgesProcessed += r.EdgesTraversed
 		res.LaneRelaxations += r.EdgesTraversed
+		res.ValueWrites += r.ValueWrites
 		// Union sizes are not meaningful for sequential evaluation; record
 		// the per-query frontier history of the longest query instead.
 		if len(r.FrontierSizes) > len(res.UnionFrontierSizes) {

@@ -7,6 +7,7 @@ import (
 	"github.com/glign/glign/internal/graph"
 	"github.com/glign/glign/internal/par"
 	"github.com/glign/glign/internal/queries"
+	"github.com/glign/glign/internal/telemetry"
 )
 
 // oblivious is Glign's query-oblivious frontier engine (paper §3.2,
@@ -79,21 +80,22 @@ func (s *obliviousScratch) collect(st *BatchSetup, kinds []queries.OpKind, base 
 }
 
 // relaxGroup runs one fused relaxation loop for a lane group against
-// destination block dbase; it reports whether any lane improved.
-func relaxGroup(st *BatchSetup, s *obliviousScratch, grp laneGroup, dbase int, w graph.Weight) bool {
-	improved := false
+// destination block dbase; it returns how many lanes improved (installed a
+// better value).
+func relaxGroup(st *BatchSetup, s *obliviousScratch, grp laneGroup, dbase int, w graph.Weight) int {
+	improved := 0
 	switch grp.kind {
 	case queries.OpBFS:
 		for _, li := range grp.lanes {
 			if st.Vals.ImproveMin(dbase+int(li), s.srcVals[li]+1) {
-				improved = true
+				improved++
 			}
 		}
 	case queries.OpSSSP:
 		wv := queries.Value(w)
 		for _, li := range grp.lanes {
 			if st.Vals.ImproveMin(dbase+int(li), s.srcVals[li]+wv) {
-				improved = true
+				improved++
 			}
 		}
 	case queries.OpSSWP:
@@ -104,7 +106,7 @@ func relaxGroup(st *BatchSetup, s *obliviousScratch, grp laneGroup, dbase int, w
 				cand = s.srcVals[li]
 			}
 			if st.Vals.ImproveMax(dbase+int(li), cand) {
-				improved = true
+				improved++
 			}
 		}
 	case queries.OpSSNP:
@@ -115,21 +117,21 @@ func relaxGroup(st *BatchSetup, s *obliviousScratch, grp laneGroup, dbase int, w
 				cand = s.srcVals[li]
 			}
 			if st.Vals.ImproveMin(dbase+int(li), cand) {
-				improved = true
+				improved++
 			}
 		}
 	case queries.OpViterbi:
 		wv := queries.Value(w)
 		for _, li := range grp.lanes {
 			if st.Vals.ImproveMax(dbase+int(li), s.srcVals[li]/wv) {
-				improved = true
+				improved++
 			}
 		}
 	default:
 		for _, li := range grp.lanes {
 			i := int(li)
 			if st.Vals.Improve(dbase+i, st.Kernels[i].Relax(s.srcVals[i], w), st.Kernels[i].Better) {
-				improved = true
+				improved++
 			}
 		}
 	}
@@ -156,6 +158,7 @@ func (oblivious) Run(g *graph.Graph, batch []queries.Query, opt Options) (*Batch
 	cur := frontier.New(n)
 	for iter := 0; ; iter++ {
 		// Inject queries whose delayed start arrives now.
+		injected := 0
 		for _, qi := range st.InjectionsAt(iter) {
 			src := st.Sources[qi]
 			st.Vals.Set(int(src)*b+qi, st.Kernels[qi].SourceValue())
@@ -163,6 +166,7 @@ func (oblivious) Run(g *graph.Graph, batch []queries.Query, opt Options) (*Batch
 				tr.Access(addr.ValueAddr(int(src)*b+qi), 8, true)
 			}
 			cur.Add(src)
+			injected++
 		}
 		if cur.IsEmpty() && !st.PendingAfter(iter) {
 			break
@@ -170,13 +174,21 @@ func (oblivious) Run(g *graph.Graph, batch []queries.Query, opt Options) (*Batch
 		if opt.MaxIterations > 0 && iter >= opt.MaxIterations {
 			break
 		}
-		res.UnionFrontierSizes = append(res.UnionFrontierSizes, cur.Count())
+		frontierSize := cur.Count()
+		res.UnionFrontierSizes = append(res.UnionFrontierSizes, frontierSize)
 		res.GlobalIterations++
+		var prev iterCounters
+		if opt.Telemetry != nil {
+			prev = countersOf(res)
+		}
 
 		// Direction optimization: dense iterations pull over the reversed
 		// graph (never under tracing, which models the paper's push design).
 		if tr == nil && opt.ReverseGraph != nil && shouldPull(g, cur) {
 			cur = pullIteration(opt.ReverseGraph, st, kinds, cur, workers, res)
+			if opt.Telemetry != nil {
+				recordIteration(opt.Telemetry, st, res, iter, frontierSize, telemetry.ModePull, injected, prev)
+			}
 			continue
 		}
 
@@ -187,7 +199,7 @@ func (oblivious) Run(g *graph.Graph, batch []queries.Query, opt Options) (*Batch
 		}
 		par.For(len(active), workers, 0, func(lo, hi int) {
 			scratch := newObliviousScratch(b)
-			var edges, relaxes int64
+			var edges, relaxes, writes int64
 			for ai := lo; ai < hi; ai++ {
 				v := active[ai]
 				base := int(v) * b
@@ -212,19 +224,18 @@ func (oblivious) Run(g *graph.Graph, batch []queries.Query, opt Options) (*Batch
 					}
 					dbase := int(d) * b
 					relaxes += int64(activeLanes)
-					improved := false
+					improved := 0
 					for _, grp := range scratch.groups {
-						if relaxGroup(st, scratch, grp, dbase, w) {
-							improved = true
-						}
+						improved += relaxGroup(st, scratch, grp, dbase, w)
 					}
 					if tr != nil {
 						eo := int64(g.Offsets[v]) + int64(j)
 						addr.TraceEdgeRead(tr, g, eo)
 						// The destination's whole lane block is touched.
-						tr.Access(addr.ValueAddr(dbase), int64(activeLanes)*8, improved)
+						tr.Access(addr.ValueAddr(dbase), int64(activeLanes)*8, improved > 0)
 					}
-					if improved {
+					if improved > 0 {
+						writes += int64(improved)
 						if tr != nil {
 							tr.Access(addr.unionNext+int64(d>>6)*8, 8, true)
 						}
@@ -234,8 +245,12 @@ func (oblivious) Run(g *graph.Graph, batch []queries.Query, opt Options) (*Batch
 			}
 			atomic.AddInt64(&res.EdgesProcessed, edges)
 			atomic.AddInt64(&res.LaneRelaxations, relaxes)
+			atomic.AddInt64(&res.ValueWrites, writes)
 		})
 		cur = next
+		if opt.Telemetry != nil {
+			recordIteration(opt.Telemetry, st, res, iter, frontierSize, telemetry.ModePush, injected, prev)
+		}
 		if tr != nil {
 			addr.SwapFrontiers()
 		}

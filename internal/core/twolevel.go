@@ -7,6 +7,7 @@ import (
 	"github.com/glign/glign/internal/graph"
 	"github.com/glign/glign/internal/par"
 	"github.com/glign/glign/internal/queries"
+	"github.com/glign/glign/internal/telemetry"
 )
 
 // twoLevel is the unified + separate frontier design of paper Figure 5-b:
@@ -47,11 +48,13 @@ func (twoLevel) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchR
 	}
 
 	for iter := 0; ; iter++ {
+		injected := 0
 		for _, qi := range st.InjectionsAt(iter) {
 			src := st.Sources[qi]
 			st.Vals.Set(int(src)*b+qi, st.Kernels[qi].SourceValue())
 			sep[qi].Add(src)
 			union.Add(src)
+			injected++
 			if tr != nil {
 				tr.Access(addr.values+int64(int(src)*b+qi)*8, 8, true)
 				tr.Access(addr.sepCur[qi]+int64(src>>6)*8, 8, true)
@@ -64,8 +67,13 @@ func (twoLevel) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchR
 		if opt.MaxIterations > 0 && iter >= opt.MaxIterations {
 			break
 		}
-		res.UnionFrontierSizes = append(res.UnionFrontierSizes, union.Count())
+		frontierSize := union.Count()
+		res.UnionFrontierSizes = append(res.UnionFrontierSizes, frontierSize)
 		res.GlobalIterations++
+		var prev iterCounters
+		if opt.Telemetry != nil {
+			prev = countersOf(res)
+		}
 
 		nextUnion := frontier.New(n)
 		nextSep := make([]*frontier.Subset, b)
@@ -78,7 +86,7 @@ func (twoLevel) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchR
 		}
 		par.For(len(active), workers, 0, func(lo, hi int) {
 			lanes := make([]int32, 0, b)
-			var edges, relaxes int64
+			var edges, relaxes, writes int64
 			for ai := lo; ai < hi; ai++ {
 				v := active[ai]
 				base := int(v) * b
@@ -122,6 +130,7 @@ func (twoLevel) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchR
 							tr.Access(addr.values+int64(dbase+i)*8, 8, false)
 						}
 						if queries.RelaxImprove(st.Vals, kinds[i], st.Kernels[i], dbase+i, st.Vals.Get(base+i), w) {
+							writes++
 							nextSep[i].AddSync(d)
 							nextUnion.AddSync(d)
 							if tr != nil {
@@ -135,9 +144,13 @@ func (twoLevel) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchR
 			}
 			atomic.AddInt64(&res.EdgesProcessed, edges)
 			atomic.AddInt64(&res.LaneRelaxations, relaxes)
+			atomic.AddInt64(&res.ValueWrites, writes)
 		})
 		union = nextUnion
 		sep = nextSep
+		if opt.Telemetry != nil {
+			recordIteration(opt.Telemetry, st, res, iter, frontierSize, telemetry.ModePush, injected, prev)
+		}
 		if tr != nil {
 			addr.SwapFrontiers()
 		}

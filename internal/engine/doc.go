@@ -1,0 +1,13 @@
+// Package engine implements a Ligra-style single-query evaluation engine:
+// iterative push-model EdgeMap over a frontier until the fixed point, with
+// vertex-level parallelism. It is the substrate on which the concurrent
+// engines in internal/core are built, the baseline "Ligra" of the paper, and
+// the BFS workhorse of the inter-iteration alignment precompute (§3.3's
+// reverse-BFS hub profile).
+//
+// The sequential baselines (Ligra-S) and the asynchronous Congra baseline
+// drive one engine.Run per query; with Options.Telemetry set, each run
+// records its per-iteration frontier sizes under its lane index
+// (Options.TelemetryLane) so single-query timelines land in the same
+// telemetry schema as batch engines (see OBSERVABILITY.md).
+package engine

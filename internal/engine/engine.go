@@ -1,8 +1,3 @@
-// Package engine implements a Ligra-style single-query evaluation engine:
-// iterative push-model EdgeMap over a frontier until the fixed point, with
-// vertex-level parallelism. It is the substrate on which the concurrent
-// engines in internal/core are built, the baseline "Ligra" of the paper, and
-// the BFS workhorse of the inter-iteration alignment precompute.
 package engine
 
 import (
@@ -11,6 +6,7 @@ import (
 	"github.com/glign/glign/internal/memtrace"
 	"github.com/glign/glign/internal/par"
 	"github.com/glign/glign/internal/queries"
+	"github.com/glign/glign/internal/telemetry"
 )
 
 // Options configures a run.
@@ -26,6 +22,12 @@ type Options struct {
 	// RecordFrontiers retains the frontier subset of every iteration in
 	// Result.Frontiers (used by the affinity analyses of internal/align).
 	RecordFrontiers bool
+	// Telemetry, when non-nil, receives one IterationStat per iteration
+	// with Query = TelemetryLane (sequential batch engines evaluate one
+	// query at a time, so their "global" iterations are per-query).
+	Telemetry *telemetry.BatchTrace
+	// TelemetryLane is the batch lane recorded in telemetry records.
+	TelemetryLane int
 }
 
 // Result carries the outcome of a single-query evaluation.
@@ -40,9 +42,10 @@ type Result struct {
 	// paper's Figure 7.
 	FrontierSizes []int
 	// EdgesTraversed counts relaxation attempts; VerticesProcessed counts
-	// active-vertex visits.
+	// active-vertex visits; ValueWrites counts successful relaxations.
 	EdgesTraversed    int64
 	VerticesProcessed int64
+	ValueWrites       int64
 	// Frontiers holds the frontier of each iteration when
 	// Options.RecordFrontiers is set (Frontiers[j] enters iteration j).
 	Frontiers []*frontier.Subset
@@ -95,9 +98,14 @@ func Run(g *graph.Graph, q queries.Query, opt Options) *Result {
 		if opt.MaxIterations > 0 && iter >= opt.MaxIterations {
 			break
 		}
-		res.FrontierSizes = append(res.FrontierSizes, cur.Count())
+		frontierSize := cur.Count()
+		res.FrontierSizes = append(res.FrontierSizes, frontierSize)
 		if opt.RecordFrontiers {
 			res.Frontiers = append(res.Frontiers, cur)
+		}
+		var prevEdges, prevWrites int64
+		if opt.Telemetry != nil {
+			prevEdges, prevWrites = res.EdgesTraversed, res.ValueWrites
 		}
 		next := frontier.New(n)
 		active := cur.Sparse()
@@ -106,7 +114,7 @@ func Run(g *graph.Graph, q queries.Query, opt Options) *Result {
 			traceScan(tr, addr.curFront, int64(len(cur.Words()))*8)
 		}
 		par.For(len(active), workers, 0, func(lo, hi int) {
-			var edges, verts int64
+			var edges, verts, writes int64
 			for i := lo; i < hi; i++ {
 				v := active[i]
 				verts++
@@ -131,6 +139,7 @@ func Run(g *graph.Graph, q queries.Query, opt Options) *Result {
 						tr.Access(addr.values+int64(d)*8, 8, false)
 					}
 					if queries.RelaxImprove(vals, kind, k, int(d), sv, w) {
+						writes++
 						if tr != nil {
 							tr.Access(addr.values+int64(d)*8, 8, true)
 							tr.Access(addr.nextFront+int64(d>>6)*8, 8, true)
@@ -141,9 +150,27 @@ func Run(g *graph.Graph, q queries.Query, opt Options) *Result {
 			}
 			atomicAdd(&res.EdgesTraversed, edges)
 			atomicAdd(&res.VerticesProcessed, verts)
+			atomicAdd(&res.ValueWrites, writes)
 		})
 		res.Iterations++
 		cur = next
+		if opt.Telemetry != nil {
+			injected := 0
+			if iter == 0 {
+				injected = 1 // the source, seeded before the loop
+			}
+			opt.Telemetry.RecordIteration(telemetry.IterationStat{
+				Iter:            iter,
+				Query:           opt.TelemetryLane,
+				FrontierSize:    frontierSize,
+				Mode:            telemetry.ModePush,
+				ActiveQueries:   1,
+				InjectedQueries: injected,
+				EdgesProcessed:  res.EdgesTraversed - prevEdges,
+				LaneRelaxations: res.EdgesTraversed - prevEdges,
+				ValueWrites:     res.ValueWrites - prevWrites,
+			})
+		}
 		if tr != nil {
 			addr.curFront, addr.nextFront = addr.nextFront, addr.curFront
 		}

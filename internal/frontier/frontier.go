@@ -1,13 +1,3 @@
-// Package frontier implements the VertexSubset abstraction of Ligra-style
-// engines: the set of active vertices of one iteration. A Subset is a dense
-// bitmap with an optional cached sparse (vertex list) view; insertion is
-// race-free via CAS so that a parallel EdgeMap can build the next frontier
-// concurrently.
-//
-// Glign's query-oblivious frontier (paper §3.2) is a single Subset shared by
-// every query in the batch; the two-level design it replaces (Ligra-C,
-// Krill, SimGQ) additionally keeps one Subset — or a per-vertex query
-// bitmask, see QueryMask — per query.
 package frontier
 
 import (

@@ -1,0 +1,16 @@
+// Package graph provides the in-memory graph substrate used by the Glign
+// runtime: a compressed sparse row (CSR) representation with optional edge
+// weights, edge-reversed views, degree statistics, deterministic synthetic
+// generators (R-MAT power-law graphs and grid road networks), and simple
+// text/binary persistence.
+//
+// The representation mirrors what Ligra-style engines consume: for each
+// vertex v, Offsets[v]..Offsets[v+1] delimits v's out-edges in Targets (and
+// Weights, when present). Vertex identifiers are dense uint32 values in
+// [0, NumVertices).
+//
+// The synthetic datasets (LJ, WP, UK2, TW, FR power-law graphs; RD-CA,
+// RD-US road grids) are scaled-down stand-ins for the real-world inputs of
+// the paper's evaluation, sized so that CSR footprint exceeds the simulated
+// LLC by the same order of magnitude as in the paper (see DESIGN.md §3).
+package graph

@@ -1,13 +1,3 @@
-// Package graph provides the in-memory graph substrate used by the Glign
-// runtime: a compressed sparse row (CSR) representation with optional edge
-// weights, edge-reversed views, degree statistics, deterministic synthetic
-// generators (R-MAT power-law graphs and grid road networks), and simple
-// text/binary persistence.
-//
-// The representation mirrors what Ligra-style engines consume: for each
-// vertex v, Offsets[v]..Offsets[v+1] delimits v's out-edges in Targets (and
-// Weights, when present). Vertex identifiers are dense uint32 values in
-// [0, NumVertices).
 package graph
 
 import (

@@ -1,0 +1,12 @@
+// Package memtrace defines the memory-access tracing contract between the
+// evaluation engines and the cache simulator. The paper profiles last-level
+// cache misses with the perf hardware counters; this reproduction cannot
+// assume such hardware, so the engines can instead replay their memory
+// behaviour — every frontier, value-array and CSR access, in execution
+// order — into a Tracer, and internal/cachesim implements Tracer with a
+// set-associative LRU model (see DESIGN.md §3, substitutions).
+//
+// Tracing is orthogonal to the telemetry layer (internal/telemetry): a
+// Tracer sees the address stream of a single-threaded replay, while
+// telemetry counts iteration-level quantities on ordinary parallel runs.
+package memtrace

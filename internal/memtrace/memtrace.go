@@ -1,10 +1,3 @@
-// Package memtrace defines the memory-access tracing contract between the
-// evaluation engines and the cache simulator. The paper profiles last-level
-// cache misses with the perf hardware counters; this reproduction cannot
-// assume such hardware, so the engines can instead replay their memory
-// behaviour — every frontier, value-array and CSR access, in execution
-// order — into a Tracer, and internal/cachesim implements Tracer with a
-// set-associative LRU model (see DESIGN.md §3, substitutions).
 package memtrace
 
 // Tracer consumes a stream of memory accesses in program order. Tracing

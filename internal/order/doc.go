@@ -1,0 +1,15 @@
+// Package order implements graph reordering (vertex relabeling), the
+// classic single-query locality technique the paper's related-work section
+// contrasts with Glign's approach ("works aimed at improving memory
+// locality for a single query evaluation ... must be combined with an
+// approach like Glign"). Three orderings are provided:
+//
+//   - DegreeOrder: hub sorting — vertices relabeled by descending
+//     out-degree, packing the hubs' values and adjacency together;
+//   - BFSOrder: traversal order from the largest hub, giving neighboring
+//     vertices nearby ids (an RCM-flavored layout);
+//   - HubClusterOrder: hubs first, then remaining vertices in BFS order.
+//
+// The abl-order experiment measures how reordering composes with Glign's
+// alignments on the simulated LLC.
+package order

@@ -1,0 +1,12 @@
+// Package par provides the small work-sharing parallel runtime the engines
+// are built on. It stands in for the Cilk work-stealing scheduler that Ligra
+// (and therefore Krill and Glign) uses: dynamic chunk self-scheduling over an
+// index space, which delivers the balanced vertex-level parallelism the paper
+// relies on without any external dependency.
+//
+// For loops hand out fixed-size chunks from an atomic cursor, so skewed
+// per-vertex work (power-law degree distributions) self-balances without a
+// task deque. Engines aggregate telemetry counters per worker inside the
+// loop body and publish them once per iteration, keeping the hot path free
+// of shared-cacheline traffic.
+package par

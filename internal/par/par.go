@@ -1,8 +1,3 @@
-// Package par provides the small work-sharing parallel runtime the engines
-// are built on. It stands in for the Cilk work-stealing scheduler that Ligra
-// (and therefore Krill and Glign) uses: dynamic chunk self-scheduling over an
-// index space, which delivers the balanced vertex-level parallelism the paper
-// relies on without any external dependency.
 package par
 
 import (

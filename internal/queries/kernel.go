@@ -1,11 +1,3 @@
-// Package queries defines the vertex-specific graph query kernels evaluated
-// by the Glign runtime: BFS, SSSP, SSWP, SSNP and Viterbi — the five
-// benchmarks of paper Table 6 — plus the Kernel abstraction they share.
-//
-// Every kernel is *monotonic* (paper Definition 3.1): re-applying Relax can
-// only move a vertex value in one direction (given by Better). Monotonicity
-// is what makes Glign's query-oblivious frontier safe (Theorem 3.2) and is
-// checked by property tests in this package.
 package queries
 
 import (

@@ -1,8 +1,3 @@
-// Package sched implements query batching: how a buffer of concurrent
-// queries is partitioned into evaluation batches. It provides the paper's
-// two policies — first-come-first-serve and Glign's affinity-oriented
-// batching (§3.4, Figure 10) — plus the batching-window mechanism that
-// bounds how far affinity-oriented batching may reorder queries.
 package sched
 
 import (
@@ -10,6 +5,7 @@ import (
 
 	"github.com/glign/glign/internal/align"
 	"github.com/glign/glign/internal/queries"
+	"github.com/glign/glign/internal/telemetry"
 )
 
 // Policy partitions a query buffer into evaluation batches. Batches are
@@ -47,6 +43,9 @@ type Affinity struct {
 	Profile *align.Profile
 	// Window is the batching window B_w; <= 0 means the whole buffer.
 	Window int
+	// Telemetry, when non-nil, receives one BatchingDecision per window —
+	// the ranked order and the arrival estimates that produced it.
+	Telemetry *telemetry.RunTrace
 }
 
 // Name implements Policy.
@@ -76,6 +75,19 @@ func (a Affinity) MakeBatches(buffer []queries.Query, batchSize int) [][]int {
 			}
 			return idx[x] < idx[y]
 		})
+		if a.Telemetry != nil {
+			arrivals := make([]int, len(idx))
+			for i, bi := range idx {
+				arrivals[i] = a.Profile.ArrivalEstimate(buffer[bi].Source)
+			}
+			a.Telemetry.RecordDecision(telemetry.BatchingDecision{
+				Policy:      a.Name(),
+				WindowStart: lo,
+				WindowEnd:   hi,
+				Order:       append([]int(nil), idx...),
+				Arrivals:    arrivals,
+			})
+		}
 		batches = append(batches, chunkIndices(idx, batchSize)...)
 	}
 	return batches

@@ -1,6 +1,3 @@
-// Package stats provides the small numeric and formatting helpers the
-// benchmark harness uses: geometric/arithmetic means, speedup ratios, and a
-// plain-text table renderer for reproducing the paper's tables on stdout.
 package stats
 
 import (

@@ -1,14 +1,3 @@
-// Package systems wires the engines (internal/core, internal/baselines),
-// the alignment profile (internal/align) and the batching policies
-// (internal/sched) into the named evaluation methods of paper Table 5:
-//
-//	Ligra-S, Ligra-C, GraphM, Krill,
-//	Glign-Intra, Glign-Inter, Glign-Batch, Glign,
-//
-// plus the §4.8 iBFS reimplementation and the §4.1 query-level-parallelism
-// design. A method consumes a query buffer, partitions it into evaluation
-// batches, evaluates every batch, and reports aggregate statistics — the
-// unit all throughput experiments are built on.
 package systems
 
 import (
@@ -22,6 +11,7 @@ import (
 	"github.com/glign/glign/internal/memtrace"
 	"github.com/glign/glign/internal/queries"
 	"github.com/glign/glign/internal/sched"
+	"github.com/glign/glign/internal/telemetry"
 )
 
 // Method names.
@@ -67,6 +57,10 @@ type Config struct {
 	// profile, whose reversed graph is reused). Ignored by other engines
 	// and by traced runs.
 	DirectionOptimized bool
+	// Telemetry, when non-nil, collects per-iteration engine records and
+	// scheduler decisions for this run (see internal/telemetry). Nil
+	// disables collection at near-zero cost.
+	Telemetry *telemetry.Collector
 }
 
 // Result aggregates a method run over a whole buffer.
@@ -84,12 +78,17 @@ type Result struct {
 	Alignments [][]int
 	// TotalIterations sums global iterations over batches.
 	TotalIterations int
-	// EdgesProcessed / LaneRelaxations aggregate engine counters.
+	// EdgesProcessed / LaneRelaxations / ValueWrites aggregate engine
+	// counters.
 	EdgesProcessed  int64
 	LaneRelaxations int64
+	ValueWrites     int64
 	// Values[bufferIdx] is the query's full result vector when
 	// Config.KeepValues is set.
 	Values map[int][]queries.Value
+	// Telemetry is the run's trace when Config.Telemetry was set (snapshot
+	// it for the per-iteration timelines), nil otherwise.
+	Telemetry *telemetry.RunTrace
 }
 
 // methodPlan is the (policy, engine, aligned) decomposition of a method.
@@ -99,7 +98,7 @@ type methodPlan struct {
 	aligned bool
 }
 
-func planFor(method string, g *graph.Graph, prof *align.Profile, cfg Config) (methodPlan, error) {
+func planFor(method string, g *graph.Graph, prof *align.Profile, cfg Config, run *telemetry.RunTrace) (methodPlan, error) {
 	fcfs := sched.FCFS{}
 	switch method {
 	case LigraS:
@@ -115,11 +114,11 @@ func planFor(method string, g *graph.Graph, prof *align.Profile, cfg Config) (me
 	case GlignInter:
 		return methodPlan{fcfs, core.GlignIntra, true}, nil
 	case GlignBatch:
-		return methodPlan{sched.Affinity{Profile: prof, Window: cfg.Window}, core.GlignIntra, false}, nil
+		return methodPlan{sched.Affinity{Profile: prof, Window: cfg.Window, Telemetry: run}, core.GlignIntra, false}, nil
 	case Glign:
-		return methodPlan{sched.Affinity{Profile: prof, Window: cfg.Window}, core.GlignIntra, true}, nil
+		return methodPlan{sched.Affinity{Profile: prof, Window: cfg.Window, Telemetry: run}, core.GlignIntra, true}, nil
 	case IBFS:
-		return methodPlan{baselines.IBFS{Graph: g}, core.LigraC, false}, nil
+		return methodPlan{baselines.IBFS{Graph: g, Telemetry: run}, core.LigraC, false}, nil
 	case QueryParallel:
 		return methodPlan{fcfs, baselines.QueryParallel{}, false}, nil
 	case Congra:
@@ -152,11 +151,15 @@ func Run(method string, g *graph.Graph, buffer []queries.Query, cfg Config) (*Re
 	if prof == nil && (NeedsProfile(method) || cfg.DirectionOptimized) {
 		prof = align.NewProfile(g, align.DefaultHubCount, cfg.Workers)
 	}
-	plan, err := planFor(method, g, prof, cfg)
+	// The run trace must exist before planFor so the batching policies can
+	// record their window decisions into it.
+	run := cfg.Telemetry.StartRun(method, "")
+	plan, err := planFor(method, g, prof, cfg, run)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Method: method}
+	run.SetPolicy(plan.policy.Name())
+	res := &Result{Method: method, Telemetry: run}
 	if cfg.KeepValues {
 		res.Values = make(map[int][]queries.Value, len(buffer))
 	}
@@ -174,15 +177,20 @@ func Run(method string, g *graph.Graph, buffer []queries.Query, cfg Config) (*Re
 			opt.Alignment = prof.AlignmentVector(batch)
 			res.Alignments[bi] = opt.Alignment
 		}
+		bt := run.StartBatch(plan.engine.Name(), idx, opt.Alignment)
+		opt.Telemetry = bt
 		batchStart := time.Now()
 		br, err := plan.engine.Run(g, batch, opt)
 		if err != nil {
 			return nil, fmt.Errorf("systems: %s batch %d: %w", method, bi, err)
 		}
-		res.BatchDurations = append(res.BatchDurations, time.Since(batchStart))
+		batchDur := time.Since(batchStart)
+		bt.Finish(batchDur)
+		res.BatchDurations = append(res.BatchDurations, batchDur)
 		res.TotalIterations += br.GlobalIterations
 		res.EdgesProcessed += br.EdgesProcessed
 		res.LaneRelaxations += br.LaneRelaxations
+		res.ValueWrites += br.ValueWrites
 		if cfg.KeepValues {
 			for qi, bufferIdx := range idx {
 				res.Values[bufferIdx] = br.QueryValues(qi)
@@ -190,6 +198,7 @@ func Run(method string, g *graph.Graph, buffer []queries.Query, cfg Config) (*Re
 		}
 	}
 	res.Duration = time.Since(start)
+	run.Finish(res.Duration)
 	return res, nil
 }
 

@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"expvar"
+	"sync"
+)
+
+var publishMu sync.Mutex
+
+// Publish exports the collector under two expvar names served at
+// /debug/vars: "<name>_counters" (the flat counter totals, cheap to poll)
+// and "<name>_metrics" (the full Snapshot, including per-iteration
+// timelines). Re-publishing the same name rebinds it to the new collector
+// instead of panicking as expvar.Publish would.
+func Publish(name string, c *Collector) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	bind(name+"_counters", func() interface{} {
+		if c == nil {
+			return nil
+		}
+		return c.Counters.Snapshot()
+	})
+	bind(name+"_metrics", func() interface{} { return c.Snapshot() })
+}
+
+func bind(name string, f func() interface{}) {
+	if expvar.Get(name) != nil {
+		// Already published (an earlier Publish or a test re-run): expvar
+		// vars are funcs, so rebinding requires replacing the func value.
+		// expvar offers no unpublish; wrap in an indirection we own.
+		if r, ok := expvar.Get(name).(*rebindable); ok {
+			r.mu.Lock()
+			r.f = f
+			r.mu.Unlock()
+			return
+		}
+		return
+	}
+	expvar.Publish(name, &rebindable{f: f})
+}
+
+// rebindable is an expvar.Var whose underlying func can be swapped.
+type rebindable struct {
+	mu sync.Mutex
+	f  func() interface{}
+}
+
+func (r *rebindable) String() string {
+	r.mu.Lock()
+	f := r.f
+	r.mu.Unlock()
+	v := expvar.Func(f)
+	return v.String()
+}

@@ -1,0 +1,10 @@
+// Package workload generates the query workloads of the paper's evaluation
+// (§4.1): source vertices sampled with the hop-bin strategy of Qi et al. —
+// vertices are divided into disjoint bins by their hop distance to the
+// top-4 high-degree vertices, and bins are scanned in rounds, picking one
+// random vertex per bin per round, until the requested number of sources is
+// selected. This spreads the sources across the whole graph structure. On
+// top of the sources it builds homogeneous per-kernel buffers, the mixed
+// "Heter" buffer of Table 6, and text-file persistence so a sampled buffer
+// can be replayed across methods and sessions (cmd/glign -save-queries).
+package workload

@@ -1,11 +1,3 @@
-// Package workload generates the query workloads of the paper's evaluation
-// (§4.1): source vertices sampled with the hop-bin strategy of Qi et al. —
-// vertices are divided into disjoint bins by their hop distance to the
-// top-4 high-degree vertices, and bins are scanned in rounds, picking one
-// random vertex per bin per round, until the requested number of sources is
-// selected. This spreads the sources across the whole graph structure. On
-// top of the sources it builds homogeneous per-kernel buffers and the mixed
-// "Heter" buffer.
 package workload
 
 import (

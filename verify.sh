@@ -1,0 +1,22 @@
+#!/bin/sh
+# Tier-1 verification: build, vet, doc-comment lint, tests.
+# ROADMAP.md's quality bar is "./verify.sh passes at every commit".
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== doclint (package comments) =="
+go run ./cmd/doclint .
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race internal/telemetry =="
+go test -race ./internal/telemetry/
+
+echo "verify: OK"

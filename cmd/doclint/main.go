@@ -1,8 +1,12 @@
 // Command doclint checks that every Go package in the repository carries a
 // package comment (the doc.go convention), so `go doc` always gives an
-// orientation paragraph. It walks the given roots (default: the current
-// module), parses package clauses and their doc comments with go/parser,
-// and exits non-zero listing every package that has none.
+// orientation paragraph.
+//
+// It is a thin compatibility wrapper over the glignlint driver's doclint
+// analyzer (see internal/lint and cmd/glignlint): each argument is walked
+// recursively, test files are excluded, and //lint:ignore glignlint/doclint
+// suppressions apply. Prefer `glignlint ./...`, which runs this check
+// alongside the concurrency analyzers.
 //
 // Usage:
 //
@@ -11,13 +15,10 @@ package main
 
 import (
 	"fmt"
-	"go/parser"
-	"go/token"
-	"io/fs"
 	"os"
-	"path/filepath"
-	"sort"
 	"strings"
+
+	"github.com/glign/glign/internal/lint"
 )
 
 func main() {
@@ -25,73 +26,32 @@ func main() {
 	if len(roots) == 0 {
 		roots = []string{"."}
 	}
-	var offenders []string
-	for _, root := range roots {
-		off, err := lint(root)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "doclint:", err)
-			os.Exit(2)
+	patterns := make([]string, 0, len(roots))
+	for _, r := range roots {
+		if !strings.HasSuffix(r, "/...") {
+			r += "/..."
 		}
-		offenders = append(offenders, off...)
+		patterns = append(patterns, r)
 	}
-	sort.Strings(offenders)
-	if len(offenders) > 0 {
-		for _, p := range offenders {
-			fmt.Printf("%s: package has no package comment\n", p)
+	analyzers, err := lint.Select("doclint")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(2)
+	}
+	findings, err := lint.Run(analyzers, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(2)
+	}
+	active := 0
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
 		}
+		active++
+		fmt.Println(f.String())
+	}
+	if active > 0 {
 		os.Exit(1)
 	}
-}
-
-// lint walks root and returns the directories whose package (test files and
-// generated files excluded) lacks a doc comment on every file.
-func lint(root string) ([]string, error) {
-	// pkgs maps directory -> package name -> has a doc comment somewhere.
-	type pkg struct {
-		name    string
-		hasDoc  bool
-		nonTest bool
-	}
-	pkgs := map[string]*pkg{}
-	fset := token.NewFileSet()
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			name := d.Name()
-			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
-			return nil
-		}
-		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
-		if err != nil {
-			return fmt.Errorf("%s: %v", path, err)
-		}
-		dir := filepath.Dir(path)
-		p := pkgs[dir]
-		if p == nil {
-			p = &pkg{name: f.Name.Name}
-			pkgs[dir] = p
-		}
-		p.nonTest = true
-		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
-			p.hasDoc = true
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	var offenders []string
-	for dir, p := range pkgs {
-		if p.nonTest && !p.hasDoc {
-			offenders = append(offenders, fmt.Sprintf("%s (package %s)", dir, p.name))
-		}
-	}
-	return offenders, nil
 }

@@ -1,0 +1,125 @@
+// Command glignlint is the project's static-analysis suite: a stdlib-only
+// multi-analyzer driver (go/parser + go/ast + go/types) that machine-checks
+// the concurrency and engine invariants the Glign reproduction depends on.
+//
+// Analyzers (see LINTING.md for the invariant each one encodes):
+//
+//	atomicmix  — sync/atomic updates mixed with plain loads/stores
+//	doclint    — every package carries a package comment
+//	kernelmono — relaxation only through the approved CAS helpers; pure kernels
+//	nilrecv    — nil-receiver guards on the nil-safe telemetry types
+//	parcapture — par.For closures writing captured variables
+//
+// Usage:
+//
+//	glignlint [flags] [package-pattern ...]
+//
+// Patterns default to ./... and follow go-tool conventions ("dir",
+// "dir/..."). Findings print as file:line:col: analyzer: message; the exit
+// status is 1 when any unsuppressed finding remains, 2 on driver errors.
+//
+// Flags:
+//
+//	-json                 emit findings and counts as JSON
+//	-analyzers a,b        run a subset of analyzers
+//	-show-suppressed      also print suppressed findings (text mode)
+//	-write-baseline file  write a per-analyzer count snapshot (lint baseline)
+//	-help-analyzers       print the analyzer catalogue and exit
+//
+// Suppress a finding with a justified directive on the offending line, the
+// line above it, or in the enclosing function's doc comment:
+//
+//	//lint:ignore glignlint/<analyzer> <reason>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/glign/glign/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonReport is the -json output document.
+type jsonReport struct {
+	Schema   string         `json:"schema"`
+	Findings []lint.Finding `json:"findings"`
+	Counts   *lint.Baseline `json:"counts"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("glignlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		asJSON         = fs.Bool("json", false, "emit findings as JSON")
+		analyzerList   = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		showSuppressed = fs.Bool("show-suppressed", false, "also print suppressed findings")
+		baselinePath   = fs.String("write-baseline", "", "write per-analyzer finding counts to this file")
+		helpAnalyzers  = fs.Bool("help-analyzers", false, "print the analyzer catalogue and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *helpAnalyzers {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := lint.Select(*analyzerList)
+	if err != nil {
+		fmt.Fprintln(stderr, "glignlint:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint.Run(analyzers, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "glignlint:", err)
+		return 2
+	}
+	if *baselinePath != "" {
+		if err := lint.WriteBaseline(*baselinePath, lint.MakeBaseline(analyzers, findings)); err != nil {
+			fmt.Fprintln(stderr, "glignlint:", err)
+			return 2
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		rep := jsonReport{
+			Schema:   "glign.lint/v1",
+			Findings: findings,
+			Counts:   lint.MakeBaseline(analyzers, findings),
+		}
+		if rep.Findings == nil {
+			rep.Findings = []lint.Finding{}
+		}
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "glignlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			if f.Suppressed && !*showSuppressed {
+				continue
+			}
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if lint.ActiveCount(findings) > 0 {
+		if !*asJSON {
+			fmt.Fprintf(stderr, "glignlint: %d finding(s)\n", lint.ActiveCount(findings))
+		}
+		return 1
+	}
+	return 0
+}

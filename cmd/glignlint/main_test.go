@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/glign/glign/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// runAnalyzer runs exactly one analyzer over the given fixture patterns
+// (relative to this package directory, which is the test working directory).
+func runAnalyzer(t *testing.T, name string, patterns ...string) []lint.Finding {
+	t.Helper()
+	as, err := lint.Select(name)
+	if err != nil {
+		t.Fatalf("Select(%q): %v", name, err)
+	}
+	findings, err := lint.Run(as, patterns)
+	if err != nil {
+		t.Fatalf("Run(%q, %v): %v", name, patterns, err)
+	}
+	return findings
+}
+
+// formatFindings renders findings with file paths relative to testdata/src so
+// the goldens are machine-independent.
+func formatFindings(t *testing.T, findings []lint.Finding) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, f := range findings {
+		if rel, err := filepath.Rel(root, f.File); err == nil {
+			f.File = filepath.ToSlash(rel)
+		}
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// checkGolden compares got against testdata/golden/<name>.txt, rewriting the
+// golden when the test runs with -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name+".txt")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (rerun with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("findings mismatch for %s\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// counts tallies active vs suppressed findings.
+func counts(findings []lint.Finding) (active, suppressed int) {
+	for _, f := range findings {
+		if f.Suppressed {
+			suppressed++
+		} else {
+			active++
+		}
+	}
+	return
+}
+
+func TestAtomicMixFixture(t *testing.T) {
+	findings := runAnalyzer(t, "atomicmix", "testdata/src/atomicmix")
+	got := formatFindings(t, findings)
+	checkGolden(t, "atomicmix", got)
+	if active, suppressed := counts(findings); active < 2 || suppressed != 1 {
+		t.Errorf("want >=2 active and exactly 1 suppressed, got %d/%d:\n%s", active, suppressed, got)
+	}
+	for _, clean := range []string{"bumpPlain", "headerUses", "record", "casWord"} {
+		if strings.Contains(got, clean) {
+			t.Errorf("false positive in %s:\n%s", clean, got)
+		}
+	}
+}
+
+func TestParCaptureFixture(t *testing.T) {
+	findings := runAnalyzer(t, "parcapture", "testdata/src/parcapture")
+	got := formatFindings(t, findings)
+	checkGolden(t, "parcapture", got)
+	if active, suppressed := counts(findings); active < 2 || suppressed != 1 {
+		t.Errorf("want >=2 active and exactly 1 suppressed, got %d/%d:\n%s", active, suppressed, got)
+	}
+	for _, clean := range []string{"sumAtomic", "fillDisjoint"} {
+		if strings.Contains(got, clean) {
+			t.Errorf("false positive in %s:\n%s", clean, got)
+		}
+	}
+}
+
+func TestNilRecvFixture(t *testing.T) {
+	findings := runAnalyzer(t, "nilrecv", "testdata/src/nilrecv")
+	got := formatFindings(t, findings)
+	checkGolden(t, "nilrecv", got)
+	if active, suppressed := counts(findings); active < 2 || suppressed != 1 {
+		t.Errorf("want >=2 active and exactly 1 suppressed, got %d/%d:\n%s", active, suppressed, got)
+	}
+	for _, clean := range []string{"Observe", "helper"} {
+		if strings.Contains(got, clean) {
+			t.Errorf("false positive in %s:\n%s", clean, got)
+		}
+	}
+}
+
+func TestKernelMonoFixture(t *testing.T) {
+	findings := runAnalyzer(t, "kernelmono", "testdata/src/kernelmono")
+	got := formatFindings(t, findings)
+	checkGolden(t, "kernelmono", got)
+	if active, suppressed := counts(findings); active < 2 || suppressed != 1 {
+		t.Errorf("want >=2 active and exactly 1 suppressed, got %d/%d:\n%s", active, suppressed, got)
+	}
+	if strings.Contains(got, "good") {
+		t.Errorf("false positive on the pure kernel:\n%s", got)
+	}
+}
+
+func TestDocLintFixture(t *testing.T) {
+	findings := runAnalyzer(t, "doclint", "testdata/src/doclint/...")
+	got := formatFindings(t, findings)
+	checkGolden(t, "doclint", got)
+	if active, suppressed := counts(findings); active != 1 || suppressed != 1 {
+		t.Errorf("want exactly 1 active and 1 suppressed, got %d/%d:\n%s", active, suppressed, got)
+	}
+	if strings.Contains(got, "doclint/documented/") {
+		t.Errorf("false positive on the documented package:\n%s", got)
+	}
+}
+
+// TestCLI exercises the command wrapper: exit codes, -json output shape, and
+// the real repository staying lint-clean.
+func TestCLI(t *testing.T) {
+	var out, errb bytes.Buffer
+
+	// A fixture with active findings exits 1 and emits schema'd JSON.
+	if code := run([]string{"-json", "testdata/src/atomicmix"}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	var rep struct {
+		Schema   string         `json:"schema"`
+		Findings []lint.Finding `json:"findings"`
+		Counts   *lint.Baseline `json:"counts"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Schema != "glign.lint/v1" {
+		t.Errorf("schema = %q, want glign.lint/v1", rep.Schema)
+	}
+	if len(rep.Findings) == 0 {
+		t.Error("JSON report has no findings for the atomicmix fixture")
+	}
+
+	// A clean fixture exits 0.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"testdata/src/doclint/documented"}, &out, &errb); code != 0 {
+		t.Fatalf("clean fixture exit = %d, want 0; stderr: %s", code, errb.String())
+	}
+
+	// An unknown analyzer is a usage error (exit 2).
+	if code := run([]string{"-analyzers", "nosuch", "testdata/src/atomicmix"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown analyzer exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,41 @@
+// Package atomixfix exercises the atomicmix analyzer: a struct whose fields
+// are CASed/added atomically in some functions and touched plainly in others.
+package atomixfix
+
+import "sync/atomic"
+
+type stats struct {
+	hits  int64
+	plain int64
+	words []uint64
+}
+
+// record is the atomic writer that puts hits on the analyzer's radar.
+func record(s *stats) { atomic.AddInt64(&s.hits, 1) }
+
+// casWord is the atomic writer that puts words on the radar.
+func casWord(s *stats, i int) { atomic.CompareAndSwapUint64(&s.words[i], 0, 1) }
+
+// report reads hits plainly: true positive.
+func report(s *stats) int64 { return s.hits }
+
+// resetWords stores into words elements plainly: true positive.
+func resetWords(s *stats) {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// bumpPlain touches a field no atomic op ever sees: true negative.
+func bumpPlain(s *stats) { s.plain++ }
+
+// headerUses exercises benign slice-header operations on an atomic slice
+// (len, passing the header) — true negatives.
+func headerUses(s *stats) int { return len(s.words) }
+
+// quiescedReport reads hits plainly under a suppression: finding emitted but
+// suppressed.
+func quiescedReport(s *stats) int64 {
+	//lint:ignore glignlint/atomicmix fixture: all workers joined before this read
+	return s.hits
+}

@@ -1,0 +1,5 @@
+// Package documented carries a package comment: true negative for doclint.
+package documented
+
+// Documented is an exported symbol so the package is non-trivial.
+const Documented = true

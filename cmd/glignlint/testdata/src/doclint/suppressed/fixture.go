@@ -1,0 +1,4 @@
+package suppressed //lint:ignore glignlint/doclint fixture: intentionally undocumented test-only package
+
+// Suppressed is an exported symbol so the package is non-trivial.
+const Suppressed = true

@@ -1,0 +1,4 @@
+package undocumented
+
+// Undocumented is an exported symbol so the package is non-trivial.
+const Undocumented = true

@@ -1,0 +1,83 @@
+// Package queries is a kernelmono fixture: a miniature Values array plus a
+// Kernel interface with one pure and one impure implementation (the package
+// name is what puts it in the analyzer's scope).
+package queries
+
+import "sync/atomic"
+
+// Value mirrors the real query value type.
+type Value = float64
+
+// Values mirrors the real CAS-protected cell array.
+type Values struct{ bits []uint64 }
+
+// NewValues allocates n cells (approved constructor).
+func NewValues(n int) *Values { return &Values{bits: make([]uint64, n)} }
+
+// Get atomically reads cell i (approved accessor).
+func (v *Values) Get(i int) Value { return Value(atomic.LoadUint64(&v.bits[i])) }
+
+// Set atomically stores cell i (approved accessor).
+func (v *Values) Set(i int, x Value) { atomic.StoreUint64(&v.bits[i], uint64(x)) }
+
+// ImproveMin CASes cell i downward (approved helper).
+func (v *Values) ImproveMin(i int, cand Value) bool {
+	for {
+		old := atomic.LoadUint64(&v.bits[i])
+		if Value(old) <= cand {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(&v.bits[i], old, uint64(cand)) {
+			return true
+		}
+	}
+}
+
+// Poke writes a cell outside the approved helper set: true positive.
+func Poke(v *Values, i int) { v.bits[i] = 0 }
+
+// Peek reads a cell directly under a suppression: finding emitted but
+// suppressed.
+func Peek(v *Values, i int) uint64 {
+	//lint:ignore glignlint/kernelmono fixture: read-only debug helper on a quiesced array
+	return v.bits[i]
+}
+
+// Kernel mirrors the real kernel interface shape.
+type Kernel interface {
+	Identity() Value
+	Relax(src Value, w float64) Value
+	Better(a, b Value) bool
+}
+
+// good is a pure kernel: true negative (local state only).
+type good struct{}
+
+func (good) Identity() Value { return 0 }
+
+func (good) Relax(src Value, w float64) Value {
+	acc := struct{ v Value }{v: src}
+	acc.v += Value(w)
+	return acc.v
+}
+
+func (good) Better(a, b Value) bool { return a < b }
+
+// bad is an impure kernel: its Relax hits all three purity violations.
+var relaxCount int64
+
+type bad struct {
+	last Value
+	vals *Values
+}
+
+func (b *bad) Identity() Value { return 0 }
+
+func (b *bad) Relax(src Value, w float64) Value {
+	atomic.AddInt64(&relaxCount, 1) // true positive: sync/atomic in a kernel
+	b.last = src                    // true positive: non-local write
+	b.vals.Set(0, src)              // true positive: Values mutation
+	return src + w
+}
+
+func (b *bad) Better(a, c Value) bool { return a < c }

@@ -1,0 +1,36 @@
+// Package telemetry is a nilrecv fixture mirroring the real telemetry
+// package's nil-safe collector contract (the package name is what puts its
+// Collector/RunTrace/BatchTrace types in the analyzer's scope).
+package telemetry
+
+// Collector mimics the real nil-safe collector.
+type Collector struct{ n int }
+
+// Observe starts with the required nil-receiver guard: true negative.
+func (c *Collector) Observe(v int) {
+	if c == nil {
+		return
+	}
+	c.n += v
+}
+
+// Count is missing the guard: true positive.
+func (c *Collector) Count() int { return c.n }
+
+// RunTrace mimics the real per-run trace type.
+type RunTrace struct{ n int }
+
+// Note has a value receiver, which cannot be nil-checked: true positive.
+func (r RunTrace) Note() { _ = r.n }
+
+// BatchTrace mimics the real per-batch trace type.
+type BatchTrace struct{ n int }
+
+// Record is unguarded but carries a suppression: finding emitted but
+// suppressed.
+//
+//lint:ignore glignlint/nilrecv fixture: documented always-non-nil usage
+func (b *BatchTrace) Record(v int) { b.n += v }
+
+// helper is unexported, so the contract does not apply: true negative.
+func (c *Collector) helper() int { return c.n }

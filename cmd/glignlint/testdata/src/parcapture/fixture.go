@@ -1,0 +1,64 @@
+// Package parfix exercises the parcapture analyzer: closures handed to the
+// internal/par helpers that write variables captured by reference.
+package parfix
+
+import (
+	"sync/atomic"
+
+	"github.com/glign/glign/internal/par"
+)
+
+// sumRace accumulates into a captured local from every worker: true positive.
+func sumRace(xs []int) int {
+	total := 0
+	par.For(len(xs), 0, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			total += xs[i]
+		}
+	})
+	return total
+}
+
+// fieldRace increments a field through a captured pointer: true positive.
+type counter struct{ n int }
+
+func fieldRace(c *counter, items []int) {
+	par.ForEach(items, 0, func(int) {
+		c.n++
+	})
+}
+
+// sumAtomic publishes per-worker partials with sync/atomic: true negative
+// (the accumulate-locally, publish-atomically convention).
+func sumAtomic(xs []int) int64 {
+	var total int64
+	par.For(len(xs), 0, 0, func(lo, hi int) {
+		local := int64(0)
+		for i := lo; i < hi; i++ {
+			local += int64(xs[i])
+		}
+		atomic.AddInt64(&total, local)
+	})
+	return total
+}
+
+// fillDisjoint stores to disjoint slice elements: true negative (element
+// stores are the intended output channel of a parallel for).
+func fillDisjoint(dst []int) {
+	par.For(len(dst), 0, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = i
+		}
+	})
+}
+
+// suppressedSum writes a captured local under a suppression: finding emitted
+// but suppressed.
+func suppressedSum(xs []int) int {
+	total := 0
+	par.For(len(xs), 0, 1<<30, func(lo, hi int) {
+		//lint:ignore glignlint/parcapture fixture: the grain forces a single chunk, so one worker runs
+		total += hi - lo
+	})
+	return total
+}

@@ -2,6 +2,7 @@ package baselines
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"github.com/glign/glign/internal/core"
 	"github.com/glign/glign/internal/engine"
@@ -63,10 +64,14 @@ func (e Congra) Run(g *graph.Graph, batch []queries.Query, opt core.Options) (*c
 			if r.Iterations > res.GlobalIterations {
 				res.GlobalIterations = r.Iterations
 			}
-			res.EdgesProcessed += r.EdgesTraversed
-			res.LaneRelaxations += r.EdgesTraversed
-			res.ValueWrites += r.ValueWrites
 			mu.Unlock()
+			// The shared counters use atomic adds like every concurrent
+			// engine writing a BatchResult (glignlint/atomicmix): this
+			// package also updates them from par.For workers, so the whole
+			// package must agree on one access protocol.
+			atomic.AddInt64(&res.EdgesProcessed, r.EdgesTraversed)
+			atomic.AddInt64(&res.LaneRelaxations, r.EdgesTraversed)
+			atomic.AddInt64(&res.ValueWrites, r.ValueWrites)
 		}(i, q)
 	}
 	wg.Wait()

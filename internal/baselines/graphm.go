@@ -100,7 +100,9 @@ func (e GraphM) Run(g *graph.Graph, batch []queries.Query, opt core.Options) (*c
 		}
 		res.UnionFrontierSizes = append(res.UnionFrontierSizes, unionCount)
 		res.GlobalIterations++
-		prevEdges, prevRelaxes, prevWrites := res.EdgesProcessed, res.LaneRelaxations, res.ValueWrites
+		prevEdges := atomic.LoadInt64(&res.EdgesProcessed)
+		prevRelaxes := atomic.LoadInt64(&res.LaneRelaxations)
+		prevWrites := atomic.LoadInt64(&res.ValueWrites)
 
 		// Materialize sparse views up front: the partition workers below
 		// only read them. Each materialization scans the query's frontier
@@ -178,9 +180,9 @@ func (e GraphM) Run(g *graph.Graph, batch []queries.Query, opt core.Options) (*c
 				Mode:            telemetry.ModePush,
 				ActiveQueries:   st.ActiveAt(iter),
 				InjectedQueries: injected,
-				EdgesProcessed:  res.EdgesProcessed - prevEdges,
-				LaneRelaxations: res.LaneRelaxations - prevRelaxes,
-				ValueWrites:     res.ValueWrites - prevWrites,
+				EdgesProcessed:  atomic.LoadInt64(&res.EdgesProcessed) - prevEdges,
+				LaneRelaxations: atomic.LoadInt64(&res.LaneRelaxations) - prevRelaxes,
+				ValueWrites:     atomic.LoadInt64(&res.ValueWrites) - prevWrites,
 			})
 		}
 		if tr != nil {

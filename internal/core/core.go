@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/glign/glign/internal/graph"
 	"github.com/glign/glign/internal/memtrace"
@@ -183,19 +184,27 @@ type iterCounters struct {
 	edges, relaxes, writes int64
 }
 
+// countersOf reads the counters with atomic loads: engines call it between
+// parallel phases (the workers' adds already happened-before via par.For's
+// join), but atomic loads keep the access protocol uniform — the invariant
+// glignlint/atomicmix enforces.
 func countersOf(res *BatchResult) iterCounters {
-	return iterCounters{res.EdgesProcessed, res.LaneRelaxations, res.ValueWrites}
+	return iterCounters{
+		atomic.LoadInt64(&res.EdgesProcessed),
+		atomic.LoadInt64(&res.LaneRelaxations),
+		atomic.LoadInt64(&res.ValueWrites),
+	}
 }
 
 // recordIteration emits one global-iteration record: the counter deltas
 // since prev, plus the frontier and injection state of the iteration.
-// Engines call it after each iteration's parallel phase completes (so the
-// plain reads of res counters are ordered after the workers' atomic adds).
+// Engines call it after each iteration's parallel phase completes.
 func recordIteration(bt *telemetry.BatchTrace, st *BatchSetup, res *BatchResult,
 	iter, frontierSize int, mode string, injected int, prev iterCounters) {
 	if bt == nil {
 		return
 	}
+	cur := countersOf(res)
 	bt.RecordIteration(telemetry.IterationStat{
 		Iter:            iter,
 		Query:           -1,
@@ -203,8 +212,8 @@ func recordIteration(bt *telemetry.BatchTrace, st *BatchSetup, res *BatchResult,
 		Mode:            mode,
 		ActiveQueries:   st.ActiveAt(iter),
 		InjectedQueries: injected,
-		EdgesProcessed:  res.EdgesProcessed - prev.edges,
-		LaneRelaxations: res.LaneRelaxations - prev.relaxes,
-		ValueWrites:     res.ValueWrites - prev.writes,
+		EdgesProcessed:  cur.edges - prev.edges,
+		LaneRelaxations: cur.relaxes - prev.relaxes,
+		ValueWrites:     cur.writes - prev.writes,
 	})
 }

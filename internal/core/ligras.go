@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"github.com/glign/glign/internal/engine"
 	"github.com/glign/glign/internal/graph"
 	"github.com/glign/glign/internal/queries"
@@ -37,9 +39,12 @@ func (ligraS) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchRes
 		if r.Iterations > res.GlobalIterations {
 			res.GlobalIterations = r.Iterations
 		}
-		res.EdgesProcessed += r.EdgesTraversed
-		res.LaneRelaxations += r.EdgesTraversed
-		res.ValueWrites += r.ValueWrites
+		// Atomic adds keep the counters' access protocol uniform with the
+		// concurrent engines (glignlint/atomicmix), though this sequential
+		// loop has no concurrent writer.
+		atomic.AddInt64(&res.EdgesProcessed, r.EdgesTraversed)
+		atomic.AddInt64(&res.LaneRelaxations, r.EdgesTraversed)
+		atomic.AddInt64(&res.ValueWrites, r.ValueWrites)
 		// Union sizes are not meaningful for sequential evaluation; record
 		// the per-query frontier history of the longest query instead.
 		if len(r.FrontierSizes) > len(res.UnionFrontierSizes) {

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"sync/atomic"
+
 	"github.com/glign/glign/internal/frontier"
 	"github.com/glign/glign/internal/graph"
 	"github.com/glign/glign/internal/memtrace"
@@ -105,7 +107,8 @@ func Run(g *graph.Graph, q queries.Query, opt Options) *Result {
 		}
 		var prevEdges, prevWrites int64
 		if opt.Telemetry != nil {
-			prevEdges, prevWrites = res.EdgesTraversed, res.ValueWrites
+			prevEdges = atomic.LoadInt64(&res.EdgesTraversed)
+			prevWrites = atomic.LoadInt64(&res.ValueWrites)
 		}
 		next := frontier.New(n)
 		active := cur.Sparse()
@@ -148,9 +151,9 @@ func Run(g *graph.Graph, q queries.Query, opt Options) *Result {
 					}
 				}
 			}
-			atomicAdd(&res.EdgesTraversed, edges)
-			atomicAdd(&res.VerticesProcessed, verts)
-			atomicAdd(&res.ValueWrites, writes)
+			atomic.AddInt64(&res.EdgesTraversed, edges)
+			atomic.AddInt64(&res.VerticesProcessed, verts)
+			atomic.AddInt64(&res.ValueWrites, writes)
 		})
 		res.Iterations++
 		cur = next
@@ -159,6 +162,7 @@ func Run(g *graph.Graph, q queries.Query, opt Options) *Result {
 			if iter == 0 {
 				injected = 1 // the source, seeded before the loop
 			}
+			iterEdges := atomic.LoadInt64(&res.EdgesTraversed) - prevEdges
 			opt.Telemetry.RecordIteration(telemetry.IterationStat{
 				Iter:            iter,
 				Query:           opt.TelemetryLane,
@@ -166,9 +170,9 @@ func Run(g *graph.Graph, q queries.Query, opt Options) *Result {
 				Mode:            telemetry.ModePush,
 				ActiveQueries:   1,
 				InjectedQueries: injected,
-				EdgesProcessed:  res.EdgesTraversed - prevEdges,
-				LaneRelaxations: res.EdgesTraversed - prevEdges,
-				ValueWrites:     res.ValueWrites - prevWrites,
+				EdgesProcessed:  iterEdges,
+				LaneRelaxations: iterEdges,
+				ValueWrites:     atomic.LoadInt64(&res.ValueWrites) - prevWrites,
 			})
 		}
 		if tr != nil {

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"sync/atomic"
+
 	"github.com/glign/glign/internal/frontier"
 	"github.com/glign/glign/internal/graph"
 	"github.com/glign/glign/internal/par"
@@ -62,8 +64,8 @@ func RunPull(g, rev *graph.Graph, q queries.Query, opt Options) *Result {
 					next.AddSync(graph.VertexID(d))
 				}
 			}
-			atomicAdd(&res.EdgesTraversed, edges)
-			atomicAdd(&res.VerticesProcessed, verts)
+			atomic.AddInt64(&res.EdgesTraversed, edges)
+			atomic.AddInt64(&res.VerticesProcessed, verts)
 		})
 		res.Iterations++
 		cur = next

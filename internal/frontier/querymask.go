@@ -60,7 +60,9 @@ func (m *QueryMask) AnyActive() bool { return m.active.Load() > 0 }
 // ActiveVertices returns the count of vertices active for at least one query.
 func (m *QueryMask) ActiveVertices() int { return int(m.active.Load()) }
 
-// Clear deactivates everything, retaining capacity.
+// Clear deactivates everything, retaining capacity. Callers quiesce first.
+//
+//lint:ignore glignlint/atomicmix bulk reset in a quiesced phase; no concurrent Set can be in flight
 func (m *QueryMask) Clear() {
 	for i := range m.masks {
 		m.masks[i] = 0

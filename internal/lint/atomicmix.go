@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// atomicFuncs are the sync/atomic package functions whose first argument is
+// the address of the word they operate on.
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true,
+	"LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true,
+	"StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true,
+	"SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true,
+	"CompareAndSwapUint32": true, "CompareAndSwapUint64": true,
+	"CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+// AtomicMix flags variables (typically struct fields and slices) that are
+// updated through sync/atomic somewhere in a package but loaded or stored
+// plainly elsewhere — the dominant data-race shape in lane-sharing engines:
+// one function CASes ValArray cells or frontier words while another reads
+// them without synchronization. Plain access to such a variable is only
+// sound in a quiesced phase (before the value is published or after all
+// workers have joined); every such site must either become atomic or carry
+// a suppression stating the quiesce argument.
+func AtomicMix() *Analyzer {
+	return &Analyzer{
+		Name: "atomicmix",
+		Doc: "flags variables accessed via sync/atomic in one place but with " +
+			"plain loads/stores in another",
+		Run: runAtomicMix,
+	}
+}
+
+func runAtomicMix(p *Pass) {
+	info := p.Pkg.Info
+
+	// Pass 0: map pointer-alias locals (addr := &v.bits[i]) to their roots.
+	alias := map[types.Object]*types.Var{}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				un, ok := rhs.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				root := rootVar(info, un.X)
+				if root == nil {
+					continue
+				}
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					if obj := objectOf(info, id); obj != nil {
+						alias[obj] = root
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 1: collect every variable whose address reaches a sync/atomic
+	// call, with one exemplar position each.
+	atomicAt := map[*types.Var]token.Pos{}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if name, ok := isPkgCall(info, call, "sync/atomic"); !ok || !atomicFuncs[name] {
+				return true
+			}
+			var root *types.Var
+			switch arg := ast.Unparen(call.Args[0]).(type) {
+			case *ast.UnaryExpr:
+				if arg.Op == token.AND {
+					root = rootVar(info, arg.X)
+				}
+			case *ast.Ident:
+				root = alias[objectOf(info, arg)]
+			}
+			if root != nil {
+				if _, ok := atomicAt[root]; !ok {
+					atomicAt[root] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return
+	}
+
+	// Pass 2: flag plain element/value accesses to those variables. Slice
+	// header uses (len, append, passing the slice, rebinding it) are not
+	// element accesses and stay unflagged; so does taking an address, which
+	// is how the atomic call sites themselves appear.
+	for _, fd := range funcDecls(p.Pkg) {
+		if fd.Body == nil {
+			continue
+		}
+		protected := map[ast.Node]bool{}
+		seen := map[string]bool{}
+		report := func(pos token.Pos, v *types.Var) {
+			position := p.Pkg.Fset.Position(pos)
+			key := fmt.Sprintf("%s:%d:%p", position.Filename, position.Line, v)
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			at := p.Pkg.Fset.Position(atomicAt[v])
+			p.Reportf(pos,
+				"%s is updated with sync/atomic (e.g. %s:%d) but accessed plainly here in %s; "+
+					"use sync/atomic or suppress with a quiesce justification",
+				v.Name(), filepath.Base(at.Filename), at.Line, funcDisplayName(fd))
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.UnaryExpr:
+				if x.Op == token.AND {
+					protected[ast.Unparen(x.X)] = true
+				}
+			case *ast.KeyValueExpr:
+				// Struct composite-literal keys resolve to field objects but
+				// are construction, not loads.
+				if id, ok := x.Key.(*ast.Ident); ok {
+					protected[id] = true
+				}
+			case *ast.IndexExpr:
+				if protected[x] {
+					return true
+				}
+				root := rootVar(info, x.X)
+				if root == nil {
+					return true
+				}
+				if _, tracked := atomicAt[root]; tracked && isIndexable(root.Type()) {
+					report(x.Pos(), root)
+				}
+			case *ast.RangeStmt:
+				root := rootVar(info, x.X)
+				if root == nil {
+					return true
+				}
+				_, tracked := atomicAt[root]
+				if tracked && isIndexable(root.Type()) && x.Value != nil {
+					if id, ok := x.Value.(*ast.Ident); !ok || id.Name != "_" {
+						report(x.Range, root)
+					}
+				}
+			case *ast.SelectorExpr:
+				if protected[x] {
+					// The address of this selection is being taken; its Sel
+					// identifier is not a plain load either.
+					protected[x.Sel] = true
+					return true
+				}
+				root := rootVar(info, x)
+				if root == nil {
+					return true
+				}
+				if _, tracked := atomicAt[root]; tracked && flagScalar(p.Pkg, root) {
+					report(x.Pos(), root)
+				}
+			case *ast.Ident:
+				if protected[x] {
+					return true
+				}
+				if v, ok := objectOf(info, x).(*types.Var); ok {
+					if _, tracked := atomicAt[v]; tracked && flagScalar(p.Pkg, v) {
+						report(x.Pos(), v)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isIndexable reports whether t is a slice or array (an element-wise
+// container whose header/whole-value uses are benign).
+func isIndexable(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	}
+	return false
+}
+
+// flagScalar reports whether a direct (non-element) use of v is worth
+// flagging: scalar struct fields and package-level variables only. A scalar
+// local whose address reaches sync/atomic is the sound accumulate-then-join
+// pattern (read after the workers joined, within one function); the
+// cross-function mixing this analyzer hunts requires shared storage.
+func flagScalar(pkg *Package, v *types.Var) bool {
+	if isIndexable(v.Type()) {
+		return false
+	}
+	return v.IsField() || (pkg.Types != nil && v.Parent() == pkg.Types.Scope())
+}

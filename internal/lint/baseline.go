@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// BaselineSchema versions the lint-baseline snapshot format
+// (results/lint-baseline.json); bump on incompatible changes.
+const BaselineSchema = "glign.lint-baseline/v1"
+
+// Baseline is a per-analyzer finding-count snapshot. It is committed under
+// results/ so future PRs can diff counts: a growing suppressed count means
+// new quiesce arguments entered the codebase, a nonzero active count means
+// the tree is not lint-clean.
+type Baseline struct {
+	Schema    string                   `json:"schema"`
+	Analyzers map[string]BaselineEntry `json:"analyzers"`
+}
+
+// BaselineEntry is the finding tally of one analyzer.
+type BaselineEntry struct {
+	Active     int `json:"active"`
+	Suppressed int `json:"suppressed"`
+}
+
+// MakeBaseline tallies findings per analyzer; analyzers that ran but found
+// nothing appear with zero counts so the snapshot records coverage.
+func MakeBaseline(analyzers []*Analyzer, findings []Finding) *Baseline {
+	b := &Baseline{Schema: BaselineSchema, Analyzers: map[string]BaselineEntry{}}
+	for _, a := range analyzers {
+		b.Analyzers[a.Name] = BaselineEntry{}
+	}
+	for _, f := range findings {
+		e := b.Analyzers[f.Analyzer]
+		if f.Suppressed {
+			e.Suppressed++
+		} else {
+			e.Active++
+		}
+		b.Analyzers[f.Analyzer] = e
+	}
+	return b
+}
+
+// WriteBaseline writes the snapshot as deterministic, indented JSON.
+func WriteBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

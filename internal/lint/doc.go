@@ -1,0 +1,22 @@
+// Package lint is the engine behind cmd/glignlint: a stdlib-only
+// (go/parser + go/ast + go/types) static-analysis driver with
+// project-specific analyzers for the concurrency and engine invariants this
+// repository depends on.
+//
+// Glign's performance comes from many queries sharing one traversal, so its
+// hot paths (EdgeMap lanes, the query-oblivious frontier, batch schedulers)
+// mix sync/atomic relaxation with plain loads under the hand-rolled par.For
+// runtime. Those are exactly the invariants that convention alone cannot
+// keep: a plain read of a CAS-updated value array cell, a closure passed to
+// par.For that writes a captured variable, a telemetry method missing its
+// nil-receiver guard. Each analyzer machine-checks one such invariant; see
+// LINTING.md for the catalogue and the paper sections that motivate them.
+//
+// Findings can be suppressed with a justification:
+//
+//	//lint:ignore glignlint/<analyzer> <reason>
+//
+// placed on the offending line, on the line directly above it, or in the
+// doc comment of the enclosing function (which suppresses the whole
+// function for that analyzer). The reason is mandatory.
+package lint

@@ -1,0 +1,35 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DocLint checks that the package carries a package comment on at least one
+// file (the doc.go convention), so `go doc` always gives an orientation
+// paragraph. It is the PR-1 cmd/doclint check folded into the glignlint
+// driver; cmd/doclint remains as a thin wrapper.
+func DocLint() *Analyzer {
+	return &Analyzer{
+		Name: "doclint",
+		Doc:  "requires every package to carry a package comment",
+		Run:  runDocLint,
+	}
+}
+
+func runDocLint(p *Pass) {
+	var first *ast.File
+	for _, f := range p.Pkg.Files {
+		if first == nil || p.Pkg.Fset.Position(f.Package).Filename <
+			p.Pkg.Fset.Position(first.Package).Filename {
+			first = f
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return
+		}
+	}
+	if first == nil {
+		return
+	}
+	p.Reportf(first.Package, "package %s has no package comment", p.Pkg.Name)
+}

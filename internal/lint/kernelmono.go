@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// valuesApproved are the methods of queries.Values (plus its constructor)
+// allowed to touch the raw bit-pattern array directly. Everything else must
+// relax through the CAS helpers (Improve / ImproveMin / ImproveMax) or the
+// atomic accessors, so the "write if better" protocol — the only thing that
+// makes concurrent lane relaxation sound (paper Theorem 3.2 requires
+// monotone updates) — cannot be bypassed.
+var valuesApproved = map[string]bool{
+	"NewValues": true,
+	"Len":       true,
+	"Get":       true,
+	"Set":       true,
+	"Fill":      true,
+	"Improve":   true, "ImproveMin": true, "ImproveMax": true,
+	"Snapshot": true,
+	"Bytes":    true,
+}
+
+// valuesMutators are the Values methods that change cells; kernel methods
+// must stay pure and may not call them.
+var valuesMutators = map[string]bool{
+	"Set": true, "Fill": true,
+	"Improve": true, "ImproveMin": true, "ImproveMax": true,
+}
+
+// KernelMono enforces the two relaxation invariants of the queries package:
+// (1) the Values.bits array is only touched inside the approved accessor/CAS
+// helpers, so no code path can install a value without the monotone
+// "write if better" protocol; (2) Kernel implementations (Relax, Better,
+// Identity, SourceValue, Name) are pure — no writes to non-local state, no
+// sync/atomic calls, no Values mutations — because engines invoke them from
+// every worker on every edge with no synchronization of their own.
+func KernelMono() *Analyzer {
+	return &Analyzer{
+		Name: "kernelmono",
+		Doc: "checks queries kernels relax only through the approved CAS " +
+			"helpers and stay pure",
+		Run: runKernelMono,
+	}
+}
+
+func runKernelMono(p *Pass) {
+	if p.Pkg.Name != "queries" {
+		return
+	}
+	checkBitsConfinement(p)
+	checkKernelPurity(p)
+}
+
+// checkBitsConfinement flags any use of the Values.bits field outside the
+// approved helper set.
+func checkBitsConfinement(p *Pass) {
+	bitsVar := lookupField(p.Pkg.Types, "Values", "bits")
+	if bitsVar == nil {
+		return
+	}
+	for _, fd := range funcDecls(p.Pkg) {
+		if fd.Body == nil || valuesApproved[fd.Name.Name] {
+			continue
+		}
+		reported := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || reported {
+				return !reported
+			}
+			if objectOf(p.Pkg.Info, id) == bitsVar {
+				reported = true
+				p.Reportf(id.Pos(),
+					"%s touches Values.bits directly; relaxation must go through the "+
+						"approved CAS helpers (Improve/ImproveMin/ImproveMax) or atomic "+
+						"accessors (Get/Set)",
+					funcDisplayName(fd))
+			}
+			return true
+		})
+	}
+}
+
+// kernelMethodNames are the Kernel interface methods whose implementations
+// must be pure.
+var kernelMethodNames = map[string]bool{
+	"Name": true, "Identity": true, "SourceValue": true, "Relax": true, "Better": true,
+}
+
+// checkKernelPurity flags impure statements inside Kernel implementations.
+func checkKernelPurity(p *Pass) {
+	scope := p.Pkg.Types.Scope()
+	iobj := scope.Lookup("Kernel")
+	if iobj == nil {
+		return
+	}
+	iface, ok := iobj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	info := p.Pkg.Info
+	for _, fd := range funcDecls(p.Pkg) {
+		if fd.Recv == nil || fd.Body == nil || !kernelMethodNames[fd.Name.Name] {
+			continue
+		}
+		rt := info.Types[fd.Recv.List[0].Type].Type
+		if rt == nil || !(types.Implements(rt, iface) || types.Implements(types.NewPointer(rt), iface)) {
+			continue
+		}
+		declName := funcDisplayName(fd)
+		localTo := func(obj types.Object) bool {
+			return obj != nil && obj.Pos() >= fd.Pos() && obj.Pos() <= fd.End()
+		}
+		flagWrite := func(target ast.Expr) {
+			root := rootVar(info, target)
+			if root == nil {
+				// Writes through unresolvable targets (map cells, results of
+				// calls) are beyond this check.
+				return
+			}
+			if root.IsField() {
+				// A field write is pure only when the struct is a
+				// method-local value (not the receiver, not a pointer to
+				// shared state).
+				base := baseIdentObj(info, target)
+				if v, ok := base.(*types.Var); ok && localTo(v) {
+					if _, isPtr := v.Type().Underlying().(*types.Pointer); !isPtr {
+						return
+					}
+				}
+			} else if localTo(root) {
+				return
+			}
+			p.Reportf(target.Pos(),
+				"kernel method %s writes non-local state (%s); kernels must be pure — "+
+					"they run on every worker for every edge without synchronization",
+				declName, root.Name())
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && info.Defs[id] != nil {
+						continue // new local binding
+					}
+					flagWrite(lhs)
+				}
+			case *ast.IncDecStmt:
+				flagWrite(x.X)
+			case *ast.CallExpr:
+				if _, ok := isPkgCall(info, x, "sync/atomic"); ok {
+					p.Reportf(x.Pos(),
+						"kernel method %s calls sync/atomic; kernels must be pure value "+
+							"functions — the engine owns all synchronization",
+						declName)
+				}
+				if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+					if s, ok := info.Selections[sel]; ok && valuesMutators[sel.Sel.Name] {
+						if named := namedOf(s.Recv()); named != nil && named.Obj().Name() == "Values" {
+							p.Reportf(x.Pos(),
+								"kernel method %s mutates a Values array (%s); kernels "+
+									"propose values, engines install them",
+								declName, sel.Sel.Name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// lookupField finds the named field of a named struct type in pkg.
+func lookupField(pkg *types.Package, typeName, fieldName string) *types.Var {
+	if pkg == nil {
+		return nil
+	}
+	obj := pkg.Scope().Lookup(typeName)
+	if obj == nil {
+		return nil
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == fieldName {
+			return st.Field(i)
+		}
+	}
+	return nil
+}
+
+// namedOf unwraps pointers to reach a named type.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			return x
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package as the analyzers see it.
+// Test files (*_test.go) are excluded: the analyzers guard production
+// invariants, and test-only races are the -race stage's job.
+type Package struct {
+	// Dir is the package directory on disk; ImportPath its import path
+	// within the module (testdata fixtures get a module-rooted pseudo-path).
+	Dir        string
+	ImportPath string
+	// Name is the package name from the package clauses.
+	Name string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Finding is one analyzer diagnostic. Suppressed findings are retained (for
+// counting and the lint baseline) but do not fail the run.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+
+	Suppressed     bool   `json:"suppressed,omitempty"`
+	SuppressReason string `json:"suppress_reason,omitempty"`
+}
+
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	if f.Suppressed {
+		s += fmt.Sprintf(" (suppressed: %s)", f.SuppressReason)
+	}
+	return s
+}
+
+// Pass is the per-(package, analyzer) context handed to Analyzer.Run.
+type Pass struct {
+	Pkg *Package
+
+	analyzer string
+	findings *[]Finding
+	fset     *token.FileSet
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.analyzer,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check run over every loaded package.
+type Analyzer struct {
+	// Name is the identifier used in findings and suppression directives
+	// (glignlint/<Name>).
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// encodes (shown by glignlint -help-analyzers and quoted in LINTING.md).
+	Doc string
+	Run func(*Pass)
+}
+
+// All returns the full analyzer registry in stable (alphabetical) order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AtomicMix(),
+		DocLint(),
+		KernelMono(),
+		NilRecv(),
+		ParCapture(),
+	}
+}
+
+// Select resolves a comma-separated analyzer-name list against the registry.
+func Select(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimPrefix(strings.TrimSpace(n), "glignlint/")
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run loads the packages matched by patterns (relative to the enclosing
+// module; "dir/..." recurses) and runs every analyzer over each, returning
+// findings sorted by position with suppressions applied.
+func Run(analyzers []*Analyzer, patterns []string) ([]Finding, error) {
+	l, err := newLoader()
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, dir := range dirs {
+		pkg, err := l.load(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil { // no non-test Go files
+			continue
+		}
+		sup := collectSuppressions(pkg)
+		for _, a := range analyzers {
+			var raw []Finding
+			a.Run(&Pass{Pkg: pkg, analyzer: a.Name, findings: &raw, fset: pkg.Fset})
+			for i := range raw {
+				if reason, ok := sup.match(a.Name, raw[i].File, raw[i].Line); ok {
+					raw[i].Suppressed = true
+					raw[i].SuppressReason = reason
+				}
+			}
+			findings = append(findings, raw...)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// ActiveCount returns the number of unsuppressed findings.
+func ActiveCount(findings []Finding) int {
+	n := 0
+	for _, f := range findings {
+		if !f.Suppressed {
+			n++
+		}
+	}
+	return n
+}
+
+// suppression is one parsed //lint:ignore directive: it silences the named
+// analyzers on the lines [fromLine, toLine] of file.
+type suppression struct {
+	analyzers []string
+	file      string
+	fromLine  int
+	toLine    int
+	reason    string
+}
+
+type suppressionSet []suppression
+
+// directiveRE matches "//lint:ignore glignlint/name[,glignlint/name...] reason".
+var directiveRE = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s+(.+?)\s*$`)
+
+// collectSuppressions parses every //lint:ignore directive of the package.
+// A directive covers its own line and the next line; a directive inside a
+// function's doc comment covers the whole declaration.
+func collectSuppressions(pkg *Package) suppressionSet {
+	var out suppressionSet
+	for _, f := range pkg.Files {
+		// Doc-comment directives extend over the whole declaration.
+		funcRanges := map[*ast.CommentGroup][2]int{}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			funcRanges[fd.Doc] = [2]int{
+				pkg.Fset.Position(fd.Pos()).Line,
+				pkg.Fset.Position(fd.End()).Line,
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				var names []string
+				for _, n := range strings.Split(m[1], ",") {
+					names = append(names, strings.TrimPrefix(n, "glignlint/"))
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				s := suppression{
+					analyzers: names,
+					file:      pos.Filename,
+					fromLine:  pos.Line,
+					toLine:    pos.Line + 1,
+					reason:    m[2],
+				}
+				if r, ok := funcRanges[cg]; ok {
+					s.fromLine, s.toLine = r[0], r[1]
+				}
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+func (ss suppressionSet) match(analyzer, file string, line int) (string, bool) {
+	for _, s := range ss {
+		if s.file != file || line < s.fromLine || line > s.toLine {
+			continue
+		}
+		for _, a := range s.analyzers {
+			if a == analyzer {
+				return s.reason, true
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// loader parses and type-checks packages on demand. Module-internal import
+// paths are resolved to directories and loaded from source (so analyzers
+// get ASTs with full type information); everything else is delegated to the
+// stdlib source importer, which compiles type information from $GOROOT —
+// keeping the whole driver free of third-party dependencies.
+type loader struct {
+	fset       *token.FileSet
+	moduleDir  string
+	modulePath string
+	std        types.ImporterFrom
+
+	pkgs map[string]*Package // keyed by absolute directory; nil = no Go files
+}
+
+func newLoader() (*loader, error) {
+	dir, path, err := findModule()
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		fset:       token.NewFileSet(),
+		moduleDir:  dir,
+		modulePath: path,
+		pkgs:       map[string]*Package{},
+	}
+	std, ok := importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer does not implement ImporterFrom")
+	}
+	l.std = std
+	return l, nil
+}
+
+// findModule walks up from the working directory to the enclosing go.mod
+// and returns its directory and module path.
+func findModule() (dir, path string, err error) {
+	dir, err = os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// expand resolves package patterns ("./...", "dir", "dir/...") into the
+// sorted list of directories containing at least one non-test Go file.
+// Hidden directories, testdata and vendor trees are skipped by recursive
+// patterns but can still be named directly (how the fixture tests load
+// their packages).
+func (l *loader) expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		abs, err := filepath.Abs(pat)
+		if err != nil {
+			return nil, err
+		}
+		if st, err := os.Stat(abs); err != nil || !st.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q: not a directory", pat)
+		}
+		if !recursive {
+			add(abs)
+			continue
+		}
+		err = filepath.WalkDir(abs, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != abs && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// load parses and type-checks the package in dir (memoized). It returns
+// (nil, nil) when dir holds no non-test Go files.
+func (l *loader) load(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.pkgs[abs]; ok {
+		return pkg, nil
+	}
+	// Mark in-progress to fail fast on import cycles instead of recursing.
+	l.pkgs[abs] = nil
+
+	ents, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(abs, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	importPath := abs
+	if rel, err := filepath.Rel(l.moduleDir, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		importPath = l.modulePath
+		if rel != "." {
+			importPath += "/" + filepath.ToSlash(rel)
+		}
+	}
+
+	var typeErrs []string
+	conf := types.Config{
+		Importer:    (*loaderImporter)(l),
+		FakeImportC: true,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	tpkg, _ := conf.Check(importPath, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s failed:\n  %s",
+			importPath, strings.Join(typeErrs, "\n  "))
+	}
+
+	pkg := &Package{
+		Dir:        abs,
+		ImportPath: importPath,
+		Name:       files[0].Name.Name,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.pkgs[abs] = pkg
+	return pkg, nil
+}
+
+// loaderImporter adapts loader to types.Importer for module-internal paths,
+// falling back to the stdlib source importer for everything else.
+type loaderImporter loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, (*loader)(li).moduleDir, 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modulePath), "/")
+		dir := filepath.Join(l.moduleDir, filepath.FromSlash(rel))
+		pkg, err := l.load(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: import %q: no Go files in %s (or import cycle)", path, dir)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, l.moduleDir, 0)
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// nilSafeTypes lists, per package name, the types whose exported methods
+// must be nil-receiver-safe. The telemetry contract (OBSERVABILITY.md,
+// "nil-safe collector") is what lets every engine hook telemetry with a
+// bare method call and zero enabled/disabled branches: a nil *Collector and
+// the nil traces it hands out must absorb every call as a no-op.
+var nilSafeTypes = map[string][]string{
+	"telemetry": {"Collector", "RunTrace", "BatchTrace"},
+}
+
+// NilRecv verifies that every exported method on the nil-safe telemetry
+// types starts with a nil-receiver guard (`if c == nil { return ... }`) and
+// uses a pointer receiver, so instrumented hot paths never need their own
+// nil checks.
+func NilRecv() *Analyzer {
+	return &Analyzer{
+		Name: "nilrecv",
+		Doc: "verifies exported methods on nil-safe telemetry types begin " +
+			"with a nil-receiver guard",
+		Run: runNilRecv,
+	}
+}
+
+func runNilRecv(p *Pass) {
+	typeNames := nilSafeTypes[p.Pkg.Name]
+	if len(typeNames) == 0 {
+		return
+	}
+	isTarget := func(name string) bool {
+		for _, t := range typeNames {
+			if t == name {
+				return true
+			}
+		}
+		return false
+	}
+	for _, fd := range funcDecls(p.Pkg) {
+		if fd.Recv == nil || len(fd.Recv.List) == 0 || !fd.Name.IsExported() {
+			continue
+		}
+		recv := fd.Recv.List[0]
+		rtype := recv.Type
+		ptr := false
+		if s, ok := rtype.(*ast.StarExpr); ok {
+			ptr = true
+			rtype = s.X
+		}
+		id, ok := rtype.(*ast.Ident)
+		if !ok || !isTarget(id.Name) {
+			continue
+		}
+		if !ptr {
+			p.Reportf(fd.Pos(),
+				"exported method %s on nil-safe type %s must use a pointer receiver "+
+					"with a nil guard (nil-safe collector contract, OBSERVABILITY.md)",
+				fd.Name.Name, id.Name)
+			continue
+		}
+		if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+			p.Reportf(fd.Pos(),
+				"exported method %s on nil-safe type %s discards its receiver and "+
+					"cannot guard against nil (nil-safe collector contract)",
+				fd.Name.Name, id.Name)
+			continue
+		}
+		if !startsWithNilGuard(fd.Body, recv.Names[0].Name) {
+			p.Reportf(fd.Pos(),
+				"exported method (*%s).%s must begin with `if %s == nil { return ... }` "+
+					"(nil-safe collector contract, OBSERVABILITY.md)",
+				id.Name, fd.Name.Name, recv.Names[0].Name)
+		}
+	}
+}
+
+// startsWithNilGuard reports whether the first statement of body is
+// `if <recv> == nil { ...; return }` (no init statement, terminating in a
+// plain return).
+func startsWithNilGuard(body *ast.BlockStmt, recvName string) bool {
+	if body == nil || len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil || ifs.Else != nil {
+		return false
+	}
+	cmp, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || cmp.Op != token.EQL {
+		return false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == recvName
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if !(isRecv(cmp.X) && isNil(cmp.Y)) && !(isNil(cmp.X) && isRecv(cmp.Y)) {
+		return false
+	}
+	if len(ifs.Body.List) == 0 {
+		return false
+	}
+	_, ok = ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt)
+	return ok
+}

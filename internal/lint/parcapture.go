@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ParCapture flags closures handed to the internal/par runtime that write
+// variables captured by reference. par.For runs its body concurrently on
+// every worker, so a plain `captured++` (or a field store through a
+// captured pointer) inside the closure is a data race; the repository
+// convention is to accumulate into closure-local variables and publish with
+// sync/atomic, or to write only disjoint slice elements (indexed stores are
+// therefore exempt). Assigning an enclosing loop variable from inside the
+// closure is flagged the same way.
+func ParCapture() *Analyzer {
+	return &Analyzer{
+		Name: "parcapture",
+		Doc: "flags closures passed to internal/par helpers that write " +
+			"shared captured variables",
+		Run: runParCapture,
+	}
+}
+
+func runParCapture(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isParCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				checkParClosure(p, lit)
+			}
+			return true
+		})
+	}
+}
+
+// isParCall reports whether call invokes anything exported by the
+// internal/par package (For, ForEach, and whatever joins them later).
+func isParCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Generic instantiations (par.ForEach[T]) wrap the selector in an
+	// IndexExpr; the type-checked Fun still resolves through the selector.
+	pkg := pkgNameOf(info, sel.X)
+	if pkg == nil {
+		return false
+	}
+	return importPathEndsWith(pkg.Path(), "internal/par")
+}
+
+// checkParClosure walks one closure body and reports writes whose target is
+// declared outside the closure.
+func checkParClosure(p *Pass, lit *ast.FuncLit) {
+	info := p.Pkg.Info
+	captured := func(obj types.Object) bool {
+		if obj == nil {
+			return false
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.Name() == "_" {
+			return false
+		}
+		return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+	}
+	reportWrite := func(target ast.Expr, what string) {
+		switch t := ast.Unparen(target).(type) {
+		case *ast.Ident:
+			if obj := objectOf(info, t); captured(obj) {
+				p.Reportf(t.Pos(),
+					"closure passed to internal/par writes captured variable %q (%s); "+
+						"accumulate locally and publish with sync/atomic",
+					t.Name, what)
+			}
+		case *ast.SelectorExpr:
+			// A field store through a captured base races across workers.
+			if obj := baseIdentObj(info, t.X); captured(obj) {
+				if root := rootVar(info, t); root != nil {
+					p.Reportf(t.Pos(),
+						"closure passed to internal/par writes field %q of captured %q (%s); "+
+							"use sync/atomic or a per-worker copy",
+						root.Name(), obj.Name(), what)
+				}
+			}
+		case *ast.StarExpr:
+			if obj := baseIdentObj(info, t.X); captured(obj) {
+				p.Reportf(t.Pos(),
+					"closure passed to internal/par writes through captured pointer %q (%s)",
+					obj.Name(), what)
+			}
+			// IndexExpr stores are exempt: writing disjoint elements of a
+			// shared slice is the runtime's intended partitioning pattern.
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range x.Lhs {
+				reportWrite(lhs, "assignment")
+			}
+		case *ast.IncDecStmt:
+			reportWrite(x.X, "increment/decrement")
+		case *ast.RangeStmt:
+			if x.Tok == token.ASSIGN {
+				if x.Key != nil {
+					reportWrite(x.Key, "range assignment")
+				}
+				if x.Value != nil {
+					reportWrite(x.Value, "range assignment")
+				}
+			}
+		}
+		return true
+	})
+}

@@ -21,10 +21,7 @@ type Values struct {
 // NewValues allocates length cells initialized to init.
 func NewValues(length int, init Value) *Values {
 	v := &Values{bits: make([]uint64, length)}
-	b := math.Float64bits(init)
-	for i := range v.bits {
-		v.bits[i] = b
-	}
+	v.Fill(init)
 	return v
 }
 
@@ -46,6 +43,7 @@ func (v *Values) Set(i int, x Value) {
 func (v *Values) Fill(x Value) {
 	b := math.Float64bits(x)
 	for i := range v.bits {
+		//lint:ignore glignlint/atomicmix Fill's contract requires callers to quiesce; plain stores keep bulk reset cheap.
 		v.bits[i] = b
 	}
 }
@@ -68,11 +66,13 @@ func (v *Values) Improve(i int, cand Value, better func(a, b Value) bool) bool {
 	}
 }
 
-// Snapshot copies all cells into a fresh []Value.
+// Snapshot copies all cells into a fresh []Value with atomic loads, so it
+// is safe to call while relaxations are still in flight (each cell is then
+// some monotone intermediate, never a torn word).
 func (v *Values) Snapshot() []Value {
 	out := make([]Value, len(v.bits))
-	for i := range v.bits {
-		out[i] = math.Float64frombits(v.bits[i])
+	for i := range out {
+		out[i] = v.Get(i)
 	}
 	return out
 }

@@ -14,44 +14,18 @@
 package main
 
 import (
-	"fmt"
 	"os"
-	"strings"
 
 	"github.com/glign/glign/internal/lint"
 )
 
 func main() {
-	roots := os.Args[1:]
-	if len(roots) == 0 {
-		roots = []string{"."}
+	cli := lint.CLI{
+		Tool:      "doclint",
+		Analyzers: "doclint",
+		Patterns:  lint.RecursivePatterns(os.Args[1:]),
+		Stdout:    os.Stdout,
+		Stderr:    os.Stderr,
 	}
-	patterns := make([]string, 0, len(roots))
-	for _, r := range roots {
-		if !strings.HasSuffix(r, "/...") {
-			r += "/..."
-		}
-		patterns = append(patterns, r)
-	}
-	analyzers, err := lint.Select("doclint")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "doclint:", err)
-		os.Exit(2)
-	}
-	findings, err := lint.Run(analyzers, patterns)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "doclint:", err)
-		os.Exit(2)
-	}
-	active := 0
-	for _, f := range findings {
-		if f.Suppressed {
-			continue
-		}
-		active++
-		fmt.Println(f.String())
-	}
-	if active > 0 {
-		os.Exit(1)
-	}
+	os.Exit(cli.Main())
 }

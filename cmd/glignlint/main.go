@@ -5,10 +5,15 @@
 // Analyzers (see LINTING.md for the invariant each one encodes):
 //
 //	atomicmix  — sync/atomic updates mixed with plain loads/stores
+//	             (interprocedural: wrapper-aware, whole-slice reads included)
 //	doclint    — every package carries a package comment
+//	hotalloc   — per-iteration allocations in traversal loops and par closures
 //	kernelmono — relaxation only through the approved CAS helpers; pure kernels
+//	             (alias-aware, call-graph purity summaries)
 //	nilrecv    — nil-receiver guards on the nil-safe telemetry types
 //	parcapture — par.For closures writing captured variables
+//	waitjoin   — goroutines in internal/par and internal/core join on every
+//	             exit path
 //
 // Usage:
 //
@@ -33,7 +38,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -46,23 +50,17 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// jsonReport is the -json output document.
-type jsonReport struct {
-	Schema   string         `json:"schema"`
-	Findings []lint.Finding `json:"findings"`
-	Counts   *lint.Baseline `json:"counts"`
-}
-
+// run parses flags and delegates to the shared lint.CLI driver (cmd/doclint
+// rides the same helper, so the two binaries cannot drift on semantics).
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("glignlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	var (
-		asJSON         = fs.Bool("json", false, "emit findings as JSON")
-		analyzerList   = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
-		showSuppressed = fs.Bool("show-suppressed", false, "also print suppressed findings")
-		baselinePath   = fs.String("write-baseline", "", "write per-analyzer finding counts to this file")
-		helpAnalyzers  = fs.Bool("help-analyzers", false, "print the analyzer catalogue and exit")
-	)
+	cli := lint.CLI{Tool: "glignlint", Stdout: stdout, Stderr: stderr}
+	fs.BoolVar(&cli.JSON, "json", false, "emit findings as JSON")
+	fs.StringVar(&cli.Analyzers, "analyzers", "", "comma-separated analyzer subset (default: all)")
+	fs.BoolVar(&cli.ShowSuppressed, "show-suppressed", false, "also print suppressed findings")
+	fs.StringVar(&cli.BaselinePath, "write-baseline", "", "write per-analyzer finding counts to this file")
+	helpAnalyzers := fs.Bool("help-analyzers", false, "print the analyzer catalogue and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -72,54 +70,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	analyzers, err := lint.Select(*analyzerList)
-	if err != nil {
-		fmt.Fprintln(stderr, "glignlint:", err)
-		return 2
-	}
-	patterns := fs.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	findings, err := lint.Run(analyzers, patterns)
-	if err != nil {
-		fmt.Fprintln(stderr, "glignlint:", err)
-		return 2
-	}
-	if *baselinePath != "" {
-		if err := lint.WriteBaseline(*baselinePath, lint.MakeBaseline(analyzers, findings)); err != nil {
-			fmt.Fprintln(stderr, "glignlint:", err)
-			return 2
-		}
-	}
-	if *asJSON {
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
-		rep := jsonReport{
-			Schema:   "glign.lint/v1",
-			Findings: findings,
-			Counts:   lint.MakeBaseline(analyzers, findings),
-		}
-		if rep.Findings == nil {
-			rep.Findings = []lint.Finding{}
-		}
-		if err := enc.Encode(rep); err != nil {
-			fmt.Fprintln(stderr, "glignlint:", err)
-			return 2
-		}
-	} else {
-		for _, f := range findings {
-			if f.Suppressed && !*showSuppressed {
-				continue
-			}
-			fmt.Fprintln(stdout, f)
-		}
-	}
-	if lint.ActiveCount(findings) > 0 {
-		if !*asJSON {
-			fmt.Fprintf(stderr, "glignlint: %d finding(s)\n", lint.ActiveCount(findings))
-		}
-		return 1
-	}
-	return 0
+	cli.Patterns = fs.Args()
+	return cli.Main()
 }

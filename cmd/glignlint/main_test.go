@@ -29,19 +29,14 @@ func runAnalyzer(t *testing.T, name string, patterns ...string) []lint.Finding {
 	return findings
 }
 
-// formatFindings renders findings with file paths relative to testdata/src so
-// the goldens are machine-independent.
+// formatFindings renders findings with file paths relative to testdata/src.
+// Finding paths are already module-relative (lint.Run rewrites them), so this
+// only strips the fixture-tree prefix to keep the goldens short.
 func formatFindings(t *testing.T, findings []lint.Finding) string {
 	t.Helper()
-	root, err := filepath.Abs(filepath.Join("testdata", "src"))
-	if err != nil {
-		t.Fatal(err)
-	}
 	var b strings.Builder
 	for _, f := range findings {
-		if rel, err := filepath.Rel(root, f.File); err == nil {
-			f.File = filepath.ToSlash(rel)
-		}
+		f.File = strings.TrimPrefix(f.File, "cmd/glignlint/testdata/src/")
 		b.WriteString(f.String())
 		b.WriteByte('\n')
 	}
@@ -133,6 +128,34 @@ func TestKernelMonoFixture(t *testing.T) {
 	}
 	if strings.Contains(got, "good") {
 		t.Errorf("false positive on the pure kernel:\n%s", got)
+	}
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	findings := runAnalyzer(t, "hotalloc", "testdata/src/hotalloc")
+	got := formatFindings(t, findings)
+	checkGolden(t, "hotalloc", got)
+	if active, suppressed := counts(findings); active < 3 || suppressed != 1 {
+		t.Errorf("want >=3 active and exactly 1 suppressed, got %d/%d:\n%s", active, suppressed, got)
+	}
+	for _, clean := range []string{"sizes", "lanes", "history"} {
+		if strings.Contains(got, "append to "+clean) {
+			t.Errorf("false positive on reserved slice %s:\n%s", clean, got)
+		}
+	}
+}
+
+func TestWaitJoinFixture(t *testing.T) {
+	findings := runAnalyzer(t, "waitjoin", "testdata/src/waitjoin")
+	got := formatFindings(t, findings)
+	checkGolden(t, "waitjoin", got)
+	if active, suppressed := counts(findings); active < 2 || suppressed != 1 {
+		t.Errorf("want >=2 active and exactly 1 suppressed, got %d/%d:\n%s", active, suppressed, got)
+	}
+	for _, clean := range []string{"fanOut", "deferred", "collect"} {
+		if strings.Contains(got, clean) {
+			t.Errorf("false positive in %s:\n%s", clean, got)
+		}
 	}
 }
 

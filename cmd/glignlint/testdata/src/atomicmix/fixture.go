@@ -39,3 +39,28 @@ func quiescedReport(s *stats) int64 {
 	//lint:ignore glignlint/atomicmix fixture: all workers joined before this read
 	return s.hits
 }
+
+// bumpVia is a wrapper whose pointer parameter reaches an atomic op; the
+// interprocedural summary propagates the fact to its call sites.
+func bumpVia(p *int64) { atomic.AddInt64(p, 1) }
+
+type wrapped struct{ n int64 }
+
+// useWrapper routes w.n into the atomic add through the wrapper.
+func useWrapper(w *wrapped) { bumpVia(&w.n) }
+
+// readWrapped reads n plainly: true positive only with the wrapper-aware
+// interprocedural tier.
+func readWrapped(w *wrapped) int64 { return w.n }
+
+// snapshotWords bulk-reads the CAS-protected bitmap with copy: true positive
+// only with the whole-slice tier (copy loads every element plainly).
+func snapshotWords(s *stats) []uint64 {
+	out := make([]uint64, len(s.words))
+	copy(out, s.words)
+	return out
+}
+
+// spreadWords bulk-reads words via append spread: true positive with the
+// whole-slice tier.
+func spreadWords(s *stats) []uint64 { return append([]uint64(nil), s.words...) }

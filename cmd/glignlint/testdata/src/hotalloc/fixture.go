@@ -1,0 +1,65 @@
+// Package engine is a hotalloc fixture: iteration loops driving internal/par
+// with per-iteration allocations (true positives), properly reserved scratch
+// buffers (true negatives), and one justified diagnostic allocation (the
+// suppressed case). The package name is what puts it in the analyzer's scope.
+package engine
+
+import "github.com/glign/glign/internal/par"
+
+// badLoop allocates on the hot path every iteration: a fresh buffer (make),
+// and an append into a never-reserved slice — both true positives.
+func badLoop(n, iters int) []int {
+	var trace []int
+	for iter := 0; iter < iters; iter++ {
+		buf := make([]int, n) // true positive: per-iteration make
+		par.For(n, 0, 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				buf[i] = i
+			}
+		})
+		trace = append(trace, len(buf)) // true positive: unreserved append
+	}
+	return trace
+}
+
+// badClosure allocates inside the worker closure itself (once per chunk per
+// iteration): a map literal — true positive.
+func badClosure(n int) {
+	par.For(n, 0, 0, func(lo, hi int) {
+		seen := map[int]bool{} // true positive: per-chunk map literal
+		for i := lo; i < hi; i++ {
+			seen[i] = true
+		}
+	})
+}
+
+// goodLoop is the prescribed shape: the per-iteration record is reserved with
+// a capacity hint before the loop, and per-worker scratch uses the zero-length
+// make idiom — all true negatives.
+func goodLoop(n, iters int) []int {
+	sizes := make([]int, 0, iters) // reservation with an iteration-cap hint
+	for iter := 0; iter < iters; iter++ {
+		par.For(n, 0, 0, func(lo, hi int) {
+			lanes := make([]int, 0, hi-lo) // scratch make: exempt by idiom
+			for i := lo; i < hi; i++ {
+				lanes = append(lanes, i) // reserved on every path: exempt
+			}
+			_ = lanes
+		})
+		sizes = append(sizes, n) // reserved on every path: exempt
+	}
+	return sizes
+}
+
+// historyLoop captures opt-in diagnostics on the hot path under a
+// suppression: finding emitted but suppressed.
+func historyLoop(n, iters int) [][]int {
+	history := make([][]int, 0, iters)
+	for iter := 0; iter < iters; iter++ {
+		par.For(n, 0, 0, func(lo, hi int) {})
+		//lint:ignore glignlint/hotalloc fixture: history capture is opt-in diagnostics, off the steady-state path
+		row := make([]int, n)
+		history = append(history, row)
+	}
+	return history
+}

@@ -81,3 +81,34 @@ func (b *bad) Relax(src Value, w float64) Value {
 }
 
 func (b *bad) Better(a, c Value) bool { return a < c }
+
+// sneaky hides its impurity behind a local pointer alias: true positive only
+// with the alias-aware tier.
+type sneaky struct{ last Value }
+
+func (s *sneaky) Identity() Value { return 0 }
+
+func (s *sneaky) Relax(src Value, w float64) Value {
+	p := &s.last
+	*p = src // true positive: write through an alias of receiver state
+	return src + w
+}
+
+func (s *sneaky) Better(a, b Value) bool { return a < b }
+
+// indirect delegates its side effect to a helper: true positive only with the
+// call-graph purity tier.
+type indirect struct{}
+
+var tally int64
+
+func bumpTally() { tally++ }
+
+func (indirect) Identity() Value { return 0 }
+
+func (indirect) Relax(src Value, w float64) Value {
+	bumpTally() // true positive: calls an impure helper
+	return src + w
+}
+
+func (indirect) Better(a, b Value) bool { return a < b }

@@ -1,0 +1,82 @@
+// Package par is a waitjoin fixture: goroutine launches with and without a
+// join on every exit path (the package name is what puts it in the analyzer's
+// scope). True positives leak workers past return; true negatives join via
+// WaitGroup.Wait, defer, or a channel receive; one deliberate fire-and-forget
+// launch is suppressed.
+package par
+
+import "sync"
+
+// leakyFor launches workers and returns without any join: true positive.
+func leakyFor(n int) {
+	for w := 0; w < n; w++ {
+		go func() {}()
+	}
+}
+
+// earlyReturn joins on the fall-through path but leaks on the early return —
+// a true positive only a path-sensitive analysis can see.
+func earlyReturn(n int, skip bool) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func() { wg.Done() }()
+	}
+	if skip {
+		return // leaks the workers on this path
+	}
+	wg.Wait()
+}
+
+// fanOut joins every worker before returning: true negative.
+func fanOut(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go worker(&wg)
+	}
+	wg.Wait()
+}
+
+// deferred joins through a deferred Wait, which runs on every exit
+// (including panics): true negative.
+func deferred(n int, early bool) {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go worker(&wg)
+	}
+	if early {
+		return
+	}
+}
+
+// collect joins by draining the producer's channel: true negative.
+func collect(n int) int {
+	ch := make(chan int)
+	go produce(ch, n)
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// detach launches a deliberately process-lifetime goroutine under a
+// suppression: finding emitted but suppressed.
+func detach() {
+	//lint:ignore glignlint/waitjoin fixture: monitor goroutine is process-lifetime by design
+	go monitor()
+}
+
+func worker(wg *sync.WaitGroup) { wg.Done() }
+
+func produce(ch chan int, n int) {
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+}
+
+func monitor() {}

@@ -68,10 +68,12 @@ func (e Congra) Run(g *graph.Graph, batch []queries.Query, opt core.Options) (*c
 			// The shared counters use atomic adds like every concurrent
 			// engine writing a BatchResult (glignlint/atomicmix): this
 			// package also updates them from par.For workers, so the whole
-			// package must agree on one access protocol.
-			atomic.AddInt64(&res.EdgesProcessed, r.EdgesTraversed)
-			atomic.AddInt64(&res.LaneRelaxations, r.EdgesTraversed)
-			atomic.AddInt64(&res.ValueWrites, r.ValueWrites)
+			// package must agree on one access protocol. The per-query
+			// Result counters are read atomically for the same reason —
+			// engine.Run's workers update them with atomic adds.
+			atomic.AddInt64(&res.EdgesProcessed, atomic.LoadInt64(&r.EdgesTraversed))
+			atomic.AddInt64(&res.LaneRelaxations, atomic.LoadInt64(&r.EdgesTraversed))
+			atomic.AddInt64(&res.ValueWrites, atomic.LoadInt64(&r.ValueWrites))
 		}(i, q)
 	}
 	wg.Wait()

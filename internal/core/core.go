@@ -184,6 +184,18 @@ type iterCounters struct {
 	edges, relaxes, writes int64
 }
 
+// iterCapHint sizes per-iteration record slices (UnionFrontierSizes and
+// friends) up front, so the traversal loop never grows them mid-run
+// (glignlint/hotalloc): capped runs bound their history exactly, and
+// free-running monotone batches converge in O(diameter) rounds, for which 64
+// is a generous amortization base.
+func iterCapHint(maxIterations int) int {
+	if maxIterations > 0 {
+		return maxIterations
+	}
+	return 64
+}
+
 // countersOf reads the counters with atomic loads: engines call it between
 // parallel phases (the workers' adds already happened-before via par.For's
 // join), but atomic loads keep the access protocol uniform — the invariant

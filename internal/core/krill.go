@@ -39,6 +39,7 @@ func (krill) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchResu
 	n, b := st.N, st.B
 	kinds := queries.KindsOf(st.Kernels)
 	res := &BatchResult{B: b, N: n, Values: st.Vals}
+	res.UnionFrontierSizes = make([]int, 0, iterCapHint(opt.MaxIterations))
 
 	tr := opt.Tracer
 	workers := opt.Workers

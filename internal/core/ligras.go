@@ -39,12 +39,12 @@ func (ligraS) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchRes
 		if r.Iterations > res.GlobalIterations {
 			res.GlobalIterations = r.Iterations
 		}
-		// Atomic adds keep the counters' access protocol uniform with the
-		// concurrent engines (glignlint/atomicmix), though this sequential
-		// loop has no concurrent writer.
-		atomic.AddInt64(&res.EdgesProcessed, r.EdgesTraversed)
-		atomic.AddInt64(&res.LaneRelaxations, r.EdgesTraversed)
-		atomic.AddInt64(&res.ValueWrites, r.ValueWrites)
+		// Atomic adds and loads keep the counters' access protocol uniform
+		// with the concurrent engines (glignlint/atomicmix), though this
+		// sequential loop has no concurrent writer.
+		atomic.AddInt64(&res.EdgesProcessed, atomic.LoadInt64(&r.EdgesTraversed))
+		atomic.AddInt64(&res.LaneRelaxations, atomic.LoadInt64(&r.EdgesTraversed))
+		atomic.AddInt64(&res.ValueWrites, atomic.LoadInt64(&r.ValueWrites))
 		// Union sizes are not meaningful for sequential evaluation; record
 		// the per-query frontier history of the longest query instead.
 		if len(r.FrontierSizes) > len(res.UnionFrontierSizes) {

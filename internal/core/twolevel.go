@@ -32,6 +32,7 @@ func (twoLevel) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchR
 	n, b := st.N, st.B
 	kinds := queries.KindsOf(st.Kernels)
 	res := &BatchResult{B: b, N: n, Values: st.Vals}
+	res.UnionFrontierSizes = make([]int, 0, iterCapHint(opt.MaxIterations))
 
 	tr := opt.Tracer
 	workers := opt.Workers
@@ -46,6 +47,10 @@ func (twoLevel) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchR
 	for i := range sep {
 		sep[i] = frontier.New(n)
 	}
+	// nextSep ping-pongs with sep across iterations, so the traversal loop
+	// reuses both lane-frontier slices instead of allocating a fresh one per
+	// round (glignlint/hotalloc). Its elements are (re)built each iteration.
+	nextSep := make([]*frontier.Subset, b)
 
 	for iter := 0; ; iter++ {
 		injected := 0
@@ -76,7 +81,6 @@ func (twoLevel) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchR
 		}
 
 		nextUnion := frontier.New(n)
-		nextSep := make([]*frontier.Subset, b)
 		for i := range nextSep {
 			nextSep[i] = frontier.New(n)
 		}
@@ -147,7 +151,7 @@ func (twoLevel) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchR
 			atomic.AddInt64(&res.ValueWrites, writes)
 		})
 		union = nextUnion
-		sep = nextSep
+		sep, nextSep = nextSep, sep
 		if opt.Telemetry != nil {
 			recordIteration(opt.Telemetry, st, res, iter, frontierSize, telemetry.ModePush, injected, prev)
 		}

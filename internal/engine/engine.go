@@ -86,6 +86,19 @@ func Run(g *graph.Graph, q queries.Query, opt Options) *Result {
 	cur := frontier.FromVertices(n, q.Source)
 	res := &Result{}
 
+	// Monotone kernels converge in O(diameter) rounds and capped runs bound
+	// their history exactly, so sizing the per-iteration records up front
+	// keeps the traversal loop free of append growth (glignlint/hotalloc).
+	iterHint := opt.MaxIterations
+	if iterHint <= 0 {
+		iterHint = 64
+	}
+	res.FrontierSizes = make([]int, 0, iterHint)
+	// Reserved unconditionally (one small slice header) so the reservation
+	// dominates the guarded appends on every path; consumers only ever
+	// range/len over Frontiers, so empty and nil are interchangeable.
+	res.Frontiers = make([]*frontier.Subset, 0, iterHint)
+
 	tr := opt.Tracer
 	workers := opt.Workers
 	if tr != nil {
@@ -96,6 +109,11 @@ func Run(g *graph.Graph, q queries.Query, opt Options) *Result {
 		addr = layoutFor(g)
 	}
 
+	// scratch recycles the previous iteration's frontier as the next round's
+	// output bitmap, so the steady state allocates nothing per iteration. It
+	// stays nil while RecordFrontiers is on: the recorded history owns every
+	// retired frontier and must not be overwritten.
+	var scratch *frontier.Subset
 	for iter := 0; !cur.IsEmpty(); iter++ {
 		if opt.MaxIterations > 0 && iter >= opt.MaxIterations {
 			break
@@ -110,7 +128,13 @@ func Run(g *graph.Graph, q queries.Query, opt Options) *Result {
 			prevEdges = atomic.LoadInt64(&res.EdgesTraversed)
 			prevWrites = atomic.LoadInt64(&res.ValueWrites)
 		}
-		next := frontier.New(n)
+		next := scratch
+		scratch = nil
+		if next == nil {
+			next = frontier.New(n)
+		} else {
+			next.Clear()
+		}
 		active := cur.Sparse()
 		if tr != nil {
 			// Materializing the sparse view scans the frontier bitmap.
@@ -156,6 +180,9 @@ func Run(g *graph.Graph, q queries.Query, opt Options) *Result {
 			atomic.AddInt64(&res.ValueWrites, writes)
 		})
 		res.Iterations++
+		if !opt.RecordFrontiers {
+			scratch = cur
+		}
 		cur = next
 		if opt.Telemetry != nil {
 			injected := 0

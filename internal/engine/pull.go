@@ -32,6 +32,18 @@ func RunPull(g, rev *graph.Graph, q queries.Query, opt Options) *Result {
 	res := &Result{}
 	workers := opt.Workers
 
+	// Same per-iteration hygiene as Run: preallocate the iteration records
+	// and recycle retired frontiers (glignlint/hotalloc).
+	iterHint := opt.MaxIterations
+	if iterHint <= 0 {
+		iterHint = 64
+	}
+	res.FrontierSizes = make([]int, 0, iterHint)
+	// Unconditional like Run's: the reservation must dominate the guarded
+	// appends for the hotalloc dataflow (and costs one slice header).
+	res.Frontiers = make([]*frontier.Subset, 0, iterHint)
+
+	var scratch *frontier.Subset
 	for iter := 0; !cur.IsEmpty(); iter++ {
 		if opt.MaxIterations > 0 && iter >= opt.MaxIterations {
 			break
@@ -40,7 +52,13 @@ func RunPull(g, rev *graph.Graph, q queries.Query, opt Options) *Result {
 		if opt.RecordFrontiers {
 			res.Frontiers = append(res.Frontiers, cur)
 		}
-		next := frontier.New(n)
+		next := scratch
+		scratch = nil
+		if next == nil {
+			next = frontier.New(n)
+		} else {
+			next.Clear()
+		}
 		par.For(n, workers, 0, func(lo, hi int) {
 			var edges, verts int64
 			for d := lo; d < hi; d++ {
@@ -68,6 +86,9 @@ func RunPull(g, rev *graph.Graph, q queries.Query, opt Options) *Result {
 			atomic.AddInt64(&res.VerticesProcessed, verts)
 		})
 		res.Iterations++
+		if !opt.RecordFrontiers {
+			scratch = cur
+		}
 		cur = next
 	}
 	res.Values = vals.Snapshot()

@@ -102,6 +102,8 @@ func (s *Subset) Clear() {
 }
 
 // Clone returns an independent copy.
+//
+//lint:ignore glignlint/atomicmix bulk copy of a quiesced bitmap; callers clone between iterations, never mid-relaxation
 func (s *Subset) Clone() *Subset {
 	c := New(s.n)
 	copy(c.words, s.words)

@@ -8,9 +8,9 @@ import (
 	"path/filepath"
 )
 
-// atomicFuncs are the sync/atomic package functions whose first argument is
-// the address of the word they operate on.
-var atomicFuncs = map[string]bool{
+// atomicStdFuncs are the sync/atomic package functions whose first argument
+// is the address of the word they operate on.
+var atomicStdFuncs = map[string]bool{
 	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
 	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true,
 	"LoadUintptr": true, "LoadPointer": true,
@@ -24,96 +24,254 @@ var atomicFuncs = map[string]bool{
 }
 
 // AtomicMix flags variables (typically struct fields and slices) that are
-// updated through sync/atomic somewhere in a package but loaded or stored
+// updated through sync/atomic somewhere in the module but loaded or stored
 // plainly elsewhere — the dominant data-race shape in lane-sharing engines:
 // one function CASes ValArray cells or frontier words while another reads
 // them without synchronization. Plain access to such a variable is only
 // sound in a quiesced phase (before the value is published or after all
-// workers have joined); every such site must either become atomic or carry
-// a suppression stating the quiesce argument.
+// workers have joined); every such site must either become atomic, be
+// *proved* quiesced by the freshness dataflow (every caller passes a
+// receiver that has not escaped yet), or carry a suppression stating the
+// quiesce argument.
+//
+// The analysis is interprocedural and module-wide: atomic usage propagates
+// through wrapper functions (a helper that does the CAS marks the argument
+// roots at every call site, across packages), and whole-slice reads or
+// writes of an atomically accessed array (copy(dst, s.words),
+// append(x, s.words...)) are flagged alongside element accesses.
 func AtomicMix() *Analyzer {
 	return &Analyzer{
 		Name: "atomicmix",
-		Doc: "flags variables accessed via sync/atomic in one place but with " +
-			"plain loads/stores in another",
+		Doc: "flags variables accessed via sync/atomic anywhere in the module " +
+			"but with plain loads/stores elsewhere (wrapper-aware, whole-slice " +
+			"reads included)",
 		Run: runAtomicMix,
 	}
 }
 
-func runAtomicMix(p *Pass) {
-	info := p.Pkg.Info
+// atomicFacts is the module-wide interprocedural summary: every variable
+// whose storage some sync/atomic call can reach, plus, per function, the
+// parameter slots (receiver first) whose pointee reaches an atomic op — the
+// wrapper summary that lets call sites propagate the property.
+type atomicFacts struct {
+	vars   map[*types.Var]token.Pos
+	params map[*types.Func]map[int]bool
+}
 
-	// Pass 0: map pointer-alias locals (addr := &v.bits[i]) to their roots.
-	alias := map[types.Object]*types.Var{}
-	for _, f := range p.Pkg.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			as, ok := n.(*ast.AssignStmt)
-			if !ok || len(as.Lhs) != len(as.Rhs) {
-				return true
+// AtomicFacts computes (once per run) the module-wide atomic-reachability
+// summary by iterating the per-function scan to a fixpoint over the call
+// graph: round k propagates atomic usage through wrapper chains of depth k.
+func (pr *Program) AtomicFacts() *atomicFacts {
+	if pr.atomicFactsMemo != nil {
+		return pr.atomicFactsMemo
+	}
+	f := &atomicFacts{
+		vars:   map[*types.Var]token.Pos{},
+		params: map[*types.Func]map[int]bool{},
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, pkg := range pr.All {
+			for _, fd := range funcDecls(pkg) {
+				if fd.Body == nil {
+					continue
+				}
+				if f.scanFunc(pkg, fd) {
+					changed = true
+				}
 			}
-			for i, rhs := range as.Rhs {
-				un, ok := rhs.(*ast.UnaryExpr)
-				if !ok || un.Op != token.AND {
-					continue
+		}
+	}
+	pr.atomicFactsMemo = f
+	return f
+}
+
+func (f *atomicFacts) markVar(v *types.Var, pos token.Pos) bool {
+	if _, ok := f.vars[v]; ok {
+		return false
+	}
+	f.vars[v] = pos
+	return true
+}
+
+func (f *atomicFacts) markParam(fn *types.Func, idx int) bool {
+	m := f.params[fn]
+	if m == nil {
+		m = map[int]bool{}
+		f.params[fn] = m
+	}
+	if m[idx] {
+		return false
+	}
+	m[idx] = true
+	return true
+}
+
+// paramObjs returns the receiver (if any) followed by the parameters of fd,
+// as declared objects, so summary slots line up with call-site arguments.
+func paramObjs(pkg *Package, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	appendFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				out = append(out, pkg.Info.Defs[name])
+			}
+		}
+	}
+	appendFields(fd.Recv)
+	appendFields(fd.Type.Params)
+	return out
+}
+
+// scanFunc performs one round of fact collection over fd, returning whether
+// anything new was learned.
+func (f *atomicFacts) scanFunc(pkg *Package, fd *ast.FuncDecl) bool {
+	info := pkg.Info
+	fobj := funcOf(pkg, fd)
+	changed := false
+
+	// Pointer-alias locals (addr := &v.bits[i]) map to their roots.
+	alias := map[types.Object]*types.Var{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			un, ok := rhs.(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			root := rootVar(info, un.X)
+			if root == nil {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := objectOf(info, id); obj != nil {
+					alias[obj] = root
 				}
-				root := rootVar(info, un.X)
-				if root == nil {
-					continue
-				}
-				if id, ok := as.Lhs[i].(*ast.Ident); ok {
-					if obj := objectOf(info, id); obj != nil {
-						alias[obj] = root
+			}
+		}
+		return true
+	})
+
+	// Parameter objects of fd, for wrapper-summary propagation.
+	params := paramObjs(pkg, fd)
+	paramIndex := map[types.Object]int{}
+	for i, obj := range params {
+		if obj != nil {
+			paramIndex[obj] = i
+		}
+	}
+
+	// markTarget records that the storage behind expr reaches an atomic op:
+	// a concrete variable root, an aliased root, or — when expr is one of
+	// fd's own pointer parameters — a wrapper-summary slot on fd itself.
+	markTarget := func(expr ast.Expr, pos token.Pos) {
+		switch arg := ast.Unparen(expr).(type) {
+		case *ast.UnaryExpr:
+			if arg.Op == token.AND {
+				if root := rootVar(info, arg.X); root != nil {
+					if f.markVar(root, pos) {
+						changed = true
 					}
 				}
 			}
-			return true
-		})
+		case *ast.Ident:
+			obj := objectOf(info, arg)
+			if obj == nil {
+				return
+			}
+			if root := alias[obj]; root != nil {
+				if f.markVar(root, pos) {
+					changed = true
+				}
+				return
+			}
+			if idx, ok := paramIndex[obj]; ok && fobj != nil {
+				if _, isPtr := obj.Type().Underlying().(*types.Pointer); isPtr {
+					if f.markParam(fobj, idx) {
+						changed = true
+					}
+				}
+			}
+		}
 	}
 
-	// Pass 1: collect every variable whose address reaches a sync/atomic
-	// call, with one exemplar position each.
-	atomicAt := map[*types.Var]token.Pos{}
-	for _, f := range p.Pkg.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok || len(call.Args) == 0 {
-				return true
-			}
-			if name, ok := isPkgCall(info, call, "sync/atomic"); !ok || !atomicFuncs[name] {
-				return true
-			}
-			var root *types.Var
-			switch arg := ast.Unparen(call.Args[0]).(type) {
-			case *ast.UnaryExpr:
-				if arg.Op == token.AND {
-					root = rootVar(info, arg.X)
-				}
-			case *ast.Ident:
-				root = alias[objectOf(info, arg)]
-			}
-			if root != nil {
-				if _, ok := atomicAt[root]; !ok {
-					atomicAt[root] = call.Pos()
-				}
-			}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
 			return true
-		})
-	}
-	if len(atomicAt) == 0 {
+		}
+		if name, ok := isPkgCall(info, call, "sync/atomic"); ok && atomicStdFuncs[name] && len(call.Args) > 0 {
+			markTarget(call.Args[0], call.Pos())
+			return true
+		}
+		callee, _ := calleeOf(info, call)
+		if callee == nil {
+			return true
+		}
+		slots := f.params[callee]
+		if len(slots) == 0 {
+			return true
+		}
+		// Line call-site expressions up with the callee's summary slots.
+		args := make([]ast.Expr, 0, len(call.Args)+1)
+		if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+			recv := receiverExpr(info, call)
+			if recv == nil {
+				return true // method expression / value — no receiver here
+			}
+			args = append(args, recv)
+		}
+		args = append(args, call.Args...)
+		for idx := range slots {
+			if idx < len(args) {
+				markTarget(args[idx], call.Pos())
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+func runAtomicMix(p *Pass) {
+	info := p.Pkg.Info
+	facts := p.Prog.AtomicFacts()
+	if len(facts.vars) == 0 {
 		return
 	}
+	atomicAt := facts.vars
 
-	// Pass 2: flag plain element/value accesses to those variables. Slice
-	// header uses (len, append, passing the slice, rebinding it) are not
-	// element accesses and stay unflagged; so does taking an address, which
-	// is how the atomic call sites themselves appear.
+	// Alias map for this package's flag pass (addr locals are how the atomic
+	// call sites themselves appear — never plain accesses).
 	for _, fd := range funcDecls(p.Pkg) {
 		if fd.Body == nil {
 			continue
 		}
+		fobj := funcOf(p.Pkg, fd)
+		var recvObj types.Object
+		if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+			recvObj = p.Pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+		}
+		// quiesced: the freshness dataflow proved every caller holds an
+		// unpublished receiver, so plain access to receiver state is sound.
+		quiesced := func(accessed ast.Expr) bool {
+			if fobj == nil || recvObj == nil {
+				return false
+			}
+			if baseIdentObj(info, accessed) != recvObj {
+				return false
+			}
+			return p.Prog.receiverQuiesced(fobj)
+		}
+
 		protected := map[ast.Node]bool{}
 		seen := map[string]bool{}
-		report := func(pos token.Pos, v *types.Var) {
+		report := func(pos token.Pos, v *types.Var, how string) {
 			position := p.Pkg.Fset.Position(pos)
 			key := fmt.Sprintf("%s:%d:%p", position.Filename, position.Line, v)
 			if seen[key] {
@@ -122,9 +280,10 @@ func runAtomicMix(p *Pass) {
 			seen[key] = true
 			at := p.Pkg.Fset.Position(atomicAt[v])
 			p.Reportf(pos,
-				"%s is updated with sync/atomic (e.g. %s:%d) but accessed plainly here in %s; "+
+				"%s is updated with sync/atomic (e.g. %s:%d) but %s here in %s; "+
 					"use sync/atomic or suppress with a quiesce justification",
-				v.Name(), filepath.Base(at.Filename), at.Line, funcDisplayName(fd))
+				v.Name(), filepath.Base(at.Filename), at.Line,
+				how, funcDisplayName(fd))
 		}
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			switch x := n.(type) {
@@ -138,6 +297,35 @@ func runAtomicMix(p *Pass) {
 				if id, ok := x.Key.(*ast.Ident); ok {
 					protected[id] = true
 				}
+			case *ast.CallExpr:
+				// Whole-slice bulk accesses: copy reads its source (and
+				// writes its destination) element by element with plain
+				// loads/stores; append(x, s...) reads every element of s.
+				if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+					switch {
+					case id.Name == "copy" && len(x.Args) == 2:
+						for argIdx, arg := range x.Args {
+							root := rootVar(info, ast.Unparen(arg))
+							if root == nil {
+								continue
+							}
+							if _, tracked := atomicAt[root]; tracked && isIndexable(root.Type()) && !quiesced(arg) {
+								how := "bulk-read plainly by copy"
+								if argIdx == 0 {
+									how = "bulk-written plainly by copy"
+								}
+								report(arg.Pos(), root, how)
+							}
+						}
+					case id.Name == "append" && x.Ellipsis.IsValid() && len(x.Args) >= 2:
+						src := ast.Unparen(x.Args[len(x.Args)-1])
+						if root := rootVar(info, src); root != nil {
+							if _, tracked := atomicAt[root]; tracked && isIndexable(root.Type()) && !quiesced(src) {
+								report(src.Pos(), root, "bulk-read plainly by append")
+							}
+						}
+					}
+				}
 			case *ast.IndexExpr:
 				if protected[x] {
 					return true
@@ -146,8 +334,8 @@ func runAtomicMix(p *Pass) {
 				if root == nil {
 					return true
 				}
-				if _, tracked := atomicAt[root]; tracked && isIndexable(root.Type()) {
-					report(x.Pos(), root)
+				if _, tracked := atomicAt[root]; tracked && isIndexable(root.Type()) && !quiesced(x) {
+					report(x.Pos(), root, "accessed plainly")
 				}
 			case *ast.RangeStmt:
 				root := rootVar(info, x.X)
@@ -155,9 +343,9 @@ func runAtomicMix(p *Pass) {
 					return true
 				}
 				_, tracked := atomicAt[root]
-				if tracked && isIndexable(root.Type()) && x.Value != nil {
+				if tracked && isIndexable(root.Type()) && x.Value != nil && !quiesced(x.X) {
 					if id, ok := x.Value.(*ast.Ident); !ok || id.Name != "_" {
-						report(x.Range, root)
+						report(x.Range, root, "accessed plainly")
 					}
 				}
 			case *ast.SelectorExpr:
@@ -171,16 +359,16 @@ func runAtomicMix(p *Pass) {
 				if root == nil {
 					return true
 				}
-				if _, tracked := atomicAt[root]; tracked && flagScalar(p.Pkg, root) {
-					report(x.Pos(), root)
+				if _, tracked := atomicAt[root]; tracked && flagScalar(root) && !quiesced(x) {
+					report(x.Pos(), root, "accessed plainly")
 				}
 			case *ast.Ident:
 				if protected[x] {
 					return true
 				}
 				if v, ok := objectOf(info, x).(*types.Var); ok {
-					if _, tracked := atomicAt[v]; tracked && flagScalar(p.Pkg, v) {
-						report(x.Pos(), v)
+					if _, tracked := atomicAt[v]; tracked && flagScalar(v) {
+						report(x.Pos(), v, "accessed plainly")
 					}
 				}
 			}
@@ -204,9 +392,15 @@ func isIndexable(t types.Type) bool {
 // local whose address reaches sync/atomic is the sound accumulate-then-join
 // pattern (read after the workers joined, within one function); the
 // cross-function mixing this analyzer hunts requires shared storage.
-func flagScalar(pkg *Package, v *types.Var) bool {
+func flagScalar(v *types.Var) bool {
 	if isIndexable(v.Type()) {
 		return false
 	}
-	return v.IsField() || (pkg.Types != nil && v.Parent() == pkg.Types.Scope())
+	if v.IsField() {
+		return true
+	}
+	// Package-level: the variable's scope is a package scope (whose parent
+	// is the universe scope) — works across packages now that atomic facts
+	// are module-wide.
+	return v.Parent() != nil && v.Parent().Parent() == types.Universe
 }

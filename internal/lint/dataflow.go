@@ -1,0 +1,94 @@
+package lint
+
+import "go/ast"
+
+// FlowProblem defines a forward dataflow problem over a CFG. Facts are
+// opaque to the engine; a nil fact is the bottom element ("unreached") and is
+// never handed to Transfer or Merge. Implementations must treat facts as
+// immutable (copy on write) — the engine shares them across blocks.
+//
+// Termination requires the usual monotone-framework conditions: Merge is an
+// upper bound and the fact lattice has finite height (the analyses here use
+// small finite sets, which trivially qualify).
+type FlowProblem interface {
+	// Entry is the fact holding at function entry.
+	Entry() any
+	// Transfer pushes a fact across one CFG node (a statement or condition).
+	Transfer(n ast.Node, fact any) any
+	// Merge joins facts at control-flow confluences.
+	Merge(a, b any) any
+	// Equal reports fact equality (used to detect the fixpoint).
+	Equal(a, b any) bool
+}
+
+// FlowResult holds the fixpoint facts: In[b] at block entry, Out[b] after
+// the last node of b. Unreachable blocks have nil entries.
+type FlowResult struct {
+	In, Out map[*Block]any
+}
+
+// ForwardFlow runs the worklist algorithm for p over c and returns the
+// fixpoint.
+func ForwardFlow(c *CFG, p FlowProblem) *FlowResult {
+	res := &FlowResult{In: map[*Block]any{}, Out: map[*Block]any{}}
+	res.In[c.Entry] = p.Entry()
+
+	work := []*Block{c.Entry}
+	queued := map[*Block]bool{c.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		fact := res.In[b]
+		if fact == nil {
+			continue
+		}
+		for _, n := range b.Nodes {
+			fact = p.Transfer(n, fact)
+		}
+		if old := res.Out[b]; old != nil && p.Equal(old, fact) {
+			continue
+		}
+		res.Out[b] = fact
+		for _, s := range b.Succs {
+			merged := fact
+			if old := res.In[s]; old != nil {
+				merged = p.Merge(old, fact)
+				if p.Equal(old, merged) {
+					continue
+				}
+			}
+			res.In[s] = merged
+			if !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return res
+}
+
+// FactAt replays p's transfer function over the nodes of the block holding
+// `at` (the innermost block node whose source range covers it), starting from
+// the block's In fact, stopping just before that node. It returns the fact
+// in force when `at` begins executing, or nil when `at` is unreachable.
+//
+// This is the point-query companion to ForwardFlow: block-level fixpoints
+// stay cheap, and analyzers reconstruct statement-level precision only where
+// a finding needs it.
+func FactAt(c *CFG, p FlowProblem, res *FlowResult, at ast.Node) any {
+	for _, b := range c.Blocks {
+		fact := res.In[b]
+		if fact == nil {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if n.Pos() <= at.Pos() && at.End() <= n.End() {
+				return fact
+			}
+			fact = p.Transfer(n, fact)
+		}
+	}
+	return nil
+}

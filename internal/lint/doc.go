@@ -9,8 +9,18 @@
 // runtime. Those are exactly the invariants that convention alone cannot
 // keep: a plain read of a CAS-updated value array cell, a closure passed to
 // par.For that writes a captured variable, a telemetry method missing its
-// nil-receiver guard. Each analyzer machine-checks one such invariant; see
-// LINTING.md for the catalogue and the paper sections that motivate them.
+// nil-receiver guard, an allocation repeated every traversal iteration, a
+// worker goroutine leaked past return. Each analyzer machine-checks one such
+// invariant; see LINTING.md for the catalogue and the paper sections that
+// motivate them.
+//
+// The analyzers share a flow-sensitive, interprocedural substrate: a
+// statement-granular CFG per function (BuildCFG), a forward-dataflow
+// fixpoint engine (ForwardFlow), a module-wide call graph, and derived
+// summaries — atomic reachability with wrapper propagation, purity
+// classification, and the receiver-freshness proof that retires quiesce
+// suppressions. All of it is plain go/ast + go/types; the driver has no
+// dependency outside the standard library.
 //
 // Findings can be suppressed with a justification:
 //

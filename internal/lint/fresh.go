@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Freshness analysis: a forward, flow-sensitive "fresh object" dataflow used
+// to prove quiesced phases. A local variable is *fresh* at a program point
+// when it was bound to a newly allocated object (&T{...}, new(T), or a value
+// composite literal) in this function and the object has not escaped on any
+// path reaching the point: it has not been returned, stored anywhere,
+// captured by a function literal, launched in a go/defer statement, or
+// passed as an ordinary argument to a call. Method calls *on* the variable
+// (v.Fill(x)) keep it fresh — they execute synchronously before the object
+// is published, which is exactly the constructor idiom
+// (v := &Values{...}; v.Fill(init); return v) this analysis exists to
+// recognize.
+//
+// Freshness is deliberately a proof sketch, not a full escape analysis: the
+// kill rule is "any use of the identifier outside the benign positions",
+// which over-kills (conservative) in every case except pointers derived
+// from a fresh object's interior (p := &v.cells[0]) — those are not tracked,
+// so code wanting the quiesce proof must touch the object through the
+// variable itself.
+
+// freshSet is the dataflow fact: the set of currently fresh locals.
+type freshSet map[types.Object]bool
+
+// freshProblem implements FlowProblem for the freshness analysis.
+type freshProblem struct {
+	info *types.Info
+}
+
+func (fp *freshProblem) Entry() any { return freshSet{} }
+
+func (fp *freshProblem) Merge(a, b any) any {
+	// Must-analysis: fresh only when fresh on every incoming path.
+	fa, fb := a.(freshSet), b.(freshSet)
+	out := freshSet{}
+	for obj := range fa {
+		if fb[obj] {
+			out[obj] = true
+		}
+	}
+	return out
+}
+
+func (fp *freshProblem) Equal(a, b any) bool {
+	fa, fb := a.(freshSet), b.(freshSet)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for obj := range fa {
+		if !fb[obj] {
+			return false
+		}
+	}
+	return true
+}
+
+func (fp *freshProblem) Transfer(n ast.Node, fact any) any {
+	in := fact.(freshSet)
+	out := freshSet{}
+	for obj := range in {
+		out[obj] = true
+	}
+
+	// Kill: any reference to a fresh variable outside a benign position
+	// (receiver/base of a selector, or an assignment target) escapes it.
+	benign := map[*ast.Ident]bool{}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				benign[id] = true
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					benign[id] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && !benign[id] {
+			if obj := objectOf(fp.info, id); obj != nil {
+				delete(out, obj)
+			}
+		}
+		return true
+	})
+
+	// Gen: direct bindings to a fresh allocation.
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		if len(x.Lhs) == len(x.Rhs) {
+			for i, lhs := range x.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := objectOf(fp.info, id)
+				if obj == nil {
+					continue
+				}
+				if isFreshExpr(x.Rhs[i]) {
+					out[obj] = true
+				} else {
+					delete(out, obj)
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != len(vs.Names) {
+					continue
+				}
+				for i, name := range vs.Names {
+					if obj := fp.info.Defs[name]; obj != nil && isFreshExpr(vs.Values[i]) {
+						out[obj] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isFreshExpr reports whether e denotes a brand-new allocation: &T{...},
+// new(T), or a composite literal value.
+func isFreshExpr(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op != token.AND {
+			return false
+		}
+		_, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(x.Fun).(*ast.Ident)
+		return ok && id.Name == "new"
+	}
+	return false
+}
+
+// freshAnalysis bundles the fixpoint of one function for point queries.
+type freshAnalysis struct {
+	cfg     *CFG
+	problem *freshProblem
+	res     *FlowResult
+}
+
+// freshFor returns the memoized freshness fixpoint of fd.
+func (pr *Program) freshFor(pkg *Package, fd *ast.FuncDecl) *freshAnalysis {
+	if pr.freshMemo == nil {
+		pr.freshMemo = map[*ast.FuncDecl]*freshAnalysis{}
+	}
+	if fa, ok := pr.freshMemo[fd]; ok {
+		return fa
+	}
+	cfg := pr.CFG(fd.Body)
+	problem := &freshProblem{info: pkg.Info}
+	fa := &freshAnalysis{cfg: cfg, problem: problem, res: ForwardFlow(cfg, problem)}
+	pr.freshMemo[fd] = fa
+	return fa
+}
+
+// receiverQuiesced reports whether every static call of method fn happens on
+// a receiver the freshness dataflow proves unpublished at the call point.
+// When it holds, plain (non-atomic) accesses to receiver state inside fn are
+// quiesced by construction — no other goroutine can hold a reference — and
+// atomicmix drops the finding instead of demanding a suppression.
+//
+// The proof obligation is module-wide: it fails if fn escapes as a value
+// (method value, assignment), is called from inside a function literal, or
+// has any call site whose receiver is not a provably fresh local.
+func (pr *Program) receiverQuiesced(fn *types.Func) bool {
+	if pr.quiescedMemo == nil {
+		pr.quiescedMemo = map[*types.Func]bool{}
+	}
+	if q, ok := pr.quiescedMemo[fn]; ok {
+		return q
+	}
+	// Seed false so (mutually) recursive call chains do not loop and do not
+	// count themselves as proof.
+	pr.quiescedMemo[fn] = false
+	pr.quiescedMemo[fn] = pr.proveReceiverQuiesced(fn)
+	return pr.quiescedMemo[fn]
+}
+
+func (pr *Program) proveReceiverQuiesced(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	if pr.Graph.FuncRefs[fn] > 0 {
+		return false // escapes as a method value; caller set incomplete
+	}
+	sites := pr.Graph.ByCallee[fn]
+	if len(sites) == 0 {
+		return false // no visible caller: assume external/live use
+	}
+	for _, site := range sites {
+		if site.InLit {
+			return false // the literal may run after publication
+		}
+		recv := receiverExpr(site.Pkg.Info, site.Call)
+		id, ok := ast.Unparen(recv).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		callerFd := pr.Graph.DeclOf[site.Caller]
+		if callerFd == nil || callerFd.Body == nil {
+			return false
+		}
+		fa := pr.freshFor(site.Pkg, callerFd)
+		fact := FactAt(fa.cfg, fa.problem, fa.res, site.Call)
+		if fact == nil {
+			return false
+		}
+		obj := objectOf(site.Pkg.Info, id)
+		if obj == nil || !fact.(freshSet)[obj] {
+			return false
+		}
+	}
+	return true
+}

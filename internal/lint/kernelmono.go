@@ -33,9 +33,11 @@ var valuesMutators = map[string]bool{
 // (1) the Values.bits array is only touched inside the approved accessor/CAS
 // helpers, so no code path can install a value without the monotone
 // "write if better" protocol; (2) Kernel implementations (Relax, Better,
-// Identity, SourceValue, Name) are pure — no writes to non-local state, no
-// sync/atomic calls, no Values mutations — because engines invoke them from
-// every worker on every edge with no synchronization of their own.
+// Identity, SourceValue, Name) are pure — no writes to non-local state (even
+// through local pointer aliases), no sync/atomic calls, no Values mutations,
+// and no calls to module helpers the interprocedural purity summary marks
+// impure — because engines invoke them from every worker on every edge with
+// no synchronization of their own.
 func KernelMono() *Analyzer {
 	return &Analyzer{
 		Name: "kernelmono",
@@ -101,6 +103,7 @@ func checkKernelPurity(p *Pass) {
 		return
 	}
 	info := p.Pkg.Info
+	impure := p.Prog.Impurity()
 	for _, fd := range funcDecls(p.Pkg) {
 		if fd.Recv == nil || fd.Body == nil || !kernelMethodNames[fd.Name.Name] {
 			continue
@@ -110,33 +113,16 @@ func checkKernelPurity(p *Pass) {
 			continue
 		}
 		declName := funcDisplayName(fd)
-		localTo := func(obj types.Object) bool {
-			return obj != nil && obj.Pos() >= fd.Pos() && obj.Pos() <= fd.End()
-		}
+		aliases := pointerAliases(info, fd)
 		flagWrite := func(target ast.Expr) {
-			root := rootVar(info, target)
-			if root == nil {
-				// Writes through unresolvable targets (map cells, results of
-				// calls) are beyond this check.
-				return
+			// The classifier traces local pointer aliases, so `p := &k.state;
+			// *p = v` is flagged while `p := &scratch; *p = v` stays exempt.
+			if r := writeImpurity(info, fd, aliases, target); r != "" {
+				p.Reportf(target.Pos(),
+					"kernel method %s %s; kernels must be pure — "+
+						"they run on every worker for every edge without synchronization",
+					declName, r)
 			}
-			if root.IsField() {
-				// A field write is pure only when the struct is a
-				// method-local value (not the receiver, not a pointer to
-				// shared state).
-				base := baseIdentObj(info, target)
-				if v, ok := base.(*types.Var); ok && localTo(v) {
-					if _, isPtr := v.Type().Underlying().(*types.Pointer); !isPtr {
-						return
-					}
-				}
-			} else if localTo(root) {
-				return
-			}
-			p.Reportf(target.Pos(),
-				"kernel method %s writes non-local state (%s); kernels must be pure — "+
-					"they run on every worker for every edge without synchronization",
-				declName, root.Name())
 		}
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			switch x := n.(type) {
@@ -155,6 +141,7 @@ func checkKernelPurity(p *Pass) {
 						"kernel method %s calls sync/atomic; kernels must be pure value "+
 							"functions — the engine owns all synchronization",
 						declName)
+					return true
 				}
 				if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
 					if s, ok := info.Selections[sel]; ok && valuesMutators[sel.Sel.Name] {
@@ -163,7 +150,19 @@ func checkKernelPurity(p *Pass) {
 								"kernel method %s mutates a Values array (%s); kernels "+
 									"propose values, engines install them",
 								declName, sel.Sel.Name)
+							return true
 						}
+					}
+				}
+				// Helper calls: the module-wide purity summary carries the
+				// side effect back to this call site even when the helper
+				// lives in another package.
+				if callee, _ := calleeOf(info, x); callee != nil {
+					if r, bad := impure[callee]; bad && p.Prog.Graph.DeclOf[callee] != nil {
+						p.Reportf(x.Pos(),
+							"kernel method %s calls %s, which %s; kernels must be pure — "+
+								"move the side effect into the engine",
+							declName, callee.Name(), r)
 					}
 				}
 			}

@@ -48,9 +48,13 @@ func (f Finding) String() string {
 	return s
 }
 
-// Pass is the per-(package, analyzer) context handed to Analyzer.Run.
+// Pass is the per-(package, analyzer) context handed to Analyzer.Run. Prog
+// carries the module-wide view (call graph, all loaded packages, memoized
+// CFGs and interprocedural summaries); findings are still reported against
+// the single package in Pkg.
 type Pass struct {
-	Pkg *Package
+	Pkg  *Package
+	Prog *Program
 
 	analyzer string
 	findings *[]Finding
@@ -85,9 +89,11 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		AtomicMix(),
 		DocLint(),
+		HotAlloc(),
 		KernelMono(),
 		NilRecv(),
 		ParCapture(),
+		WaitJoin(),
 	}
 }
 
@@ -114,7 +120,13 @@ func Select(names string) ([]*Analyzer, error) {
 
 // Run loads the packages matched by patterns (relative to the enclosing
 // module; "dir/..." recurses) and runs every analyzer over each, returning
-// findings sorted by position with suppressions applied.
+// findings sorted by file/line/col/analyzer with suppressions applied.
+// Finding paths are module-relative (slash-separated), so reports and
+// baselines are machine-independent.
+//
+// All matched packages load before any analyzer runs: interprocedural
+// analyses need the module-wide Program (call graph plus every package's
+// AST) assembled first.
 func Run(analyzers []*Analyzer, patterns []string) ([]Finding, error) {
 	l, err := newLoader()
 	if err != nil {
@@ -124,7 +136,7 @@ func Run(analyzers []*Analyzer, patterns []string) ([]Finding, error) {
 	if err != nil {
 		return nil, err
 	}
-	var findings []Finding
+	var analyzed []*Package
 	for _, dir := range dirs {
 		pkg, err := l.load(dir)
 		if err != nil {
@@ -133,10 +145,16 @@ func Run(analyzers []*Analyzer, patterns []string) ([]Finding, error) {
 		if pkg == nil { // no non-test Go files
 			continue
 		}
+		analyzed = append(analyzed, pkg)
+	}
+	prog := newProgram(l, analyzed)
+
+	var findings []Finding
+	for _, pkg := range analyzed {
 		sup := collectSuppressions(pkg)
 		for _, a := range analyzers {
 			var raw []Finding
-			a.Run(&Pass{Pkg: pkg, analyzer: a.Name, findings: &raw, fset: pkg.Fset})
+			a.Run(&Pass{Pkg: pkg, Prog: prog, analyzer: a.Name, findings: &raw, fset: pkg.Fset})
 			for i := range raw {
 				if reason, ok := sup.match(a.Name, raw[i].File, raw[i].Line); ok {
 					raw[i].Suppressed = true
@@ -146,6 +164,17 @@ func Run(analyzers []*Analyzer, patterns []string) ([]Finding, error) {
 			findings = append(findings, raw...)
 		}
 	}
+	for i := range findings {
+		findings[i].File = l.relPath(findings[i].File)
+	}
+	SortFindings(findings)
+	return findings, nil
+}
+
+// SortFindings orders findings by file, line, column, then analyzer — the
+// canonical order every emitter (text, JSON report, baseline) relies on, so
+// output never depends on analyzer scheduling or map iteration.
+func SortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.File != b.File {
@@ -159,7 +188,6 @@ func Run(analyzers []*Analyzer, patterns []string) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
 }
 
 // ActiveCount returns the number of unsuppressed findings.

@@ -132,6 +132,18 @@ func (l *loader) expand(patterns []string) ([]string, error) {
 	return dirs, nil
 }
 
+// relPath rewrites an absolute file path to a slash-separated path relative
+// to the module root, leaving paths outside the module untouched. Findings
+// carry module-relative paths so committed reports and baselines are
+// identical across machines.
+func (l *loader) relPath(path string) string {
+	rel, err := filepath.Rel(l.moduleDir, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return filepath.ToSlash(rel)
+}
+
 func hasGoFiles(dir string) bool {
 	ents, err := os.ReadDir(dir)
 	if err != nil {

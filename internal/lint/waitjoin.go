@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WaitJoin flags goroutine launches in the scheduling packages (internal/par,
+// internal/core) that are not joined on every path to the function's normal
+// exit. A traversal primitive that returns while workers are still running
+// leaks goroutines into the caller's iteration — the exact lifetime bug the
+// -race matrix cannot reliably catch because the leaked worker usually loses
+// the race with process exit.
+//
+// The check is a forward may-analysis over the function's CFG: each go
+// statement joins the pending set, any join operation (a Wait() method call,
+// a channel receive, or a range over a channel) clears it, and whatever is
+// still pending in the exit block's entry fact is reported. Joins inside
+// deferred statements count for every exit, matching the runtime semantics.
+func WaitJoin() *Analyzer {
+	return &Analyzer{
+		Name: "waitjoin",
+		Doc: "flags goroutines in internal/par and internal/core without a " +
+			"WaitGroup/channel join on every exit path",
+		Run: runWaitJoin,
+	}
+}
+
+// waitJoinPkgs are the package names whose goroutines must be structured.
+var waitJoinPkgs = map[string]bool{"par": true, "core": true}
+
+func runWaitJoin(p *Pass) {
+	if !waitJoinPkgs[p.Pkg.Name] {
+		return
+	}
+	info := p.Pkg.Info
+	for _, fd := range funcDecls(p.Pkg) {
+		if fd.Body == nil || !hasTopLevelGo(fd.Body) {
+			continue
+		}
+		cfg := p.Prog.CFG(fd.Body)
+
+		// A join inside a deferred statement runs on every exit; treat the
+		// whole function as joined.
+		deferJoins := false
+		for _, d := range cfg.Defers {
+			if containsJoin(info, d) {
+				deferJoins = true
+			}
+		}
+		if deferJoins {
+			continue
+		}
+
+		problem := &waitJoinProblem{info: info}
+		res := ForwardFlow(cfg, problem)
+		pending, _ := res.In[cfg.Exit].(goSet)
+		var launches []*ast.GoStmt
+		for g := range pending {
+			launches = append(launches, g)
+		}
+		// Map order is random; report in source order.
+		for i := range launches {
+			for j := i + 1; j < len(launches); j++ {
+				if launches[j].Pos() < launches[i].Pos() {
+					launches[i], launches[j] = launches[j], launches[i]
+				}
+			}
+		}
+		for _, g := range launches {
+			p.Reportf(g.Pos(),
+				"goroutine launched in %s is not joined on every exit path "+
+					"(no WaitGroup.Wait or channel receive before return); a leaked "+
+					"worker outlives the traversal it belongs to",
+				funcDisplayName(fd))
+		}
+	}
+}
+
+// hasTopLevelGo reports whether body launches a goroutine outside nested
+// function literals (whose launches belong to the literal, not to fd).
+func hasTopLevelGo(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// goSet is the dataflow fact: goroutine launches not yet joined on some path
+// reaching the current point.
+type goSet map[*ast.GoStmt]bool
+
+// waitJoinProblem is a forward may-analysis (merge = union): a launch is a
+// problem if ANY path reaches the exit without passing a join.
+type waitJoinProblem struct {
+	info *types.Info
+}
+
+func (wp *waitJoinProblem) Entry() any { return goSet{} }
+
+func (wp *waitJoinProblem) Merge(a, b any) any {
+	fa, fb := a.(goSet), b.(goSet)
+	out := goSet{}
+	for g := range fa {
+		out[g] = true
+	}
+	for g := range fb {
+		out[g] = true
+	}
+	return out
+}
+
+func (wp *waitJoinProblem) Equal(a, b any) bool {
+	fa, fb := a.(goSet), b.(goSet)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for g := range fa {
+		if !fb[g] {
+			return false
+		}
+	}
+	return true
+}
+
+func (wp *waitJoinProblem) Transfer(n ast.Node, fact any) any {
+	in := fact.(goSet)
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		// The head node of a range loop is the whole statement; only the
+		// range expression is evaluated here (body statements have their own
+		// nodes), so a join buried in the body must not clear the set at the
+		// head — the body may never run.
+		if tv, ok := wp.info.Types[rs.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				return goSet{}
+			}
+		}
+		return in
+	}
+	if containsJoin(wp.info, n) {
+		// Any join synchronizes the function with its workers; the analysis
+		// does not distinguish WHICH WaitGroup — one join point per exit
+		// path is the structural property being enforced.
+		return goSet{}
+	}
+	if g, ok := n.(*ast.GoStmt); ok {
+		out := goSet{}
+		for p := range in {
+			out[p] = true
+		}
+		out[g] = true
+		return out
+	}
+	return in
+}
+
+// containsJoin reports whether n contains (outside nested function literals)
+// a join operation: a call to a method named Wait, a channel receive
+// expression, or a range over a channel.
+func containsJoin(info *types.Info, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[x.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -10,11 +10,17 @@ go build ./...
 echo "== go vet =="
 go vet ./...
 
-echo "== glignlint (concurrency + doc invariants) =="
-# The five project analyzers (atomicmix, doclint, kernelmono, nilrecv,
-# parcapture); LINTING.md documents each invariant. The committed baseline
-# pins the suppression counts so new suppressions show up in review.
+echo "== glignlint (concurrency + engine invariants) =="
+# The seven project analyzers (atomicmix, doclint, hotalloc, kernelmono,
+# nilrecv, parcapture, waitjoin); LINTING.md documents each invariant. The
+# driver first checks its own implementation and the command tree
+# explicitly (the linter must hold itself to the invariants it enforces),
+# then the whole module. The committed baseline pins the suppression counts
+# so new suppressions show up in review, and the machine-readable report is
+# archived under results/ for downstream tooling.
+go run ./cmd/glignlint ./internal/lint ./cmd/...
 go run ./cmd/glignlint ./...
+go run ./cmd/glignlint -json ./... > results/lint-report.json
 go run ./cmd/glignlint -write-baseline /tmp/glign-lint-baseline.json ./...
 if ! diff -u results/lint-baseline.json /tmp/glign-lint-baseline.json; then
     echo "verify: lint baseline drifted; regenerate with" >&2

@@ -9,7 +9,9 @@ package glign
 //	go test -bench=BenchmarkFig11 -v      # one artifact
 
 import (
+	"fmt"
 	"io"
+	"sync"
 	"testing"
 
 	"github.com/glign/glign/internal/align"
@@ -18,6 +20,7 @@ import (
 	"github.com/glign/glign/internal/core"
 	"github.com/glign/glign/internal/engine"
 	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/par"
 	"github.com/glign/glign/internal/queries"
 	"github.com/glign/glign/internal/telemetry"
 	"github.com/glign/glign/internal/workload"
@@ -142,6 +145,86 @@ func benchTelemetry(b *testing.B, enabled bool) {
 		if res.GlobalIterations == 0 {
 			b.Fatal("no iterations")
 		}
+	}
+}
+
+// Scheduler regression guard: the persistent work-stealing pool versus the
+// old spawn-per-call scheduler (par.ForSpawn, retained exactly for this
+// comparison) on a 1M-element loop. The acceptance bar is pool at
+// parity-or-faster at workers >= 4; BENCH_PR4.json records the measured
+// numbers and the README summarizes them. Compare with
+//
+//	go test -bench='BenchmarkParFor' -count=10 | benchstat
+
+// parBenchN is >= 1M elements, per the guard's acceptance criterion.
+const parBenchN = 1 << 20
+
+func parBenchData() (data, out []float64) {
+	data = make([]float64, parBenchN)
+	for i := range data {
+		data[i] = float64(i%97) + 0.5
+	}
+	return data, make([]float64, parBenchN)
+}
+
+func BenchmarkParFor(b *testing.B) {
+	data, out := parBenchData()
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = data[i]*1.0001 + 1
+		}
+	}
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("pool/w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				par.For(parBenchN, w, 0, body)
+			}
+		})
+		b.Run(fmt.Sprintf("spawn/w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				par.ForSpawn(parBenchN, w, 0, body)
+			}
+		})
+	}
+}
+
+func BenchmarkParForReduce(b *testing.B) {
+	data, _ := parBenchData()
+	var sink float64
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("pool/w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sink = par.ForReduce(nil, parBenchN, w, 0, 0.0,
+					func(lo, hi int, acc float64) float64 {
+						for j := lo; j < hi; j++ {
+							acc += data[j]
+						}
+						return acc
+					},
+					func(a, b float64) float64 { return a + b })
+			}
+		})
+		// The pre-pool fold idiom: spawn-per-call For with a mutex-merged
+		// accumulator.
+		b.Run(fmt.Sprintf("spawn/w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var mu sync.Mutex
+				var total float64
+				par.ForSpawn(parBenchN, w, 0, func(lo, hi int) {
+					var acc float64
+					for j := lo; j < hi; j++ {
+						acc += data[j]
+					}
+					mu.Lock()
+					total += acc
+					mu.Unlock()
+				})
+				sink = total
+			}
+		})
+	}
+	if sink == 0 {
+		b.Fatal("fold produced zero")
 	}
 }
 

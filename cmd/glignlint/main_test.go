@@ -98,7 +98,7 @@ func TestParCaptureFixture(t *testing.T) {
 	if active, suppressed := counts(findings); active < 2 || suppressed != 1 {
 		t.Errorf("want >=2 active and exactly 1 suppressed, got %d/%d:\n%s", active, suppressed, got)
 	}
-	for _, clean := range []string{"sumAtomic", "fillDisjoint"} {
+	for _, clean := range []string{"sumAtomic", "fillDisjoint", "reduceClean"} {
 		if strings.Contains(got, clean) {
 			t.Errorf("false positive in %s:\n%s", clean, got)
 		}
@@ -152,7 +152,7 @@ func TestWaitJoinFixture(t *testing.T) {
 	if active, suppressed := counts(findings); active < 2 || suppressed != 1 {
 		t.Errorf("want >=2 active and exactly 1 suppressed, got %d/%d:\n%s", active, suppressed, got)
 	}
-	for _, clean := range []string{"fanOut", "deferred", "collect"} {
+	for _, clean := range []string{"fanOut", "deferred", "collect", "in newPool "} {
 		if strings.Contains(got, clean) {
 			t.Errorf("false positive in %s:\n%s", clean, got)
 		}

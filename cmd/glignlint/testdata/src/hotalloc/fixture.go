@@ -51,6 +51,21 @@ func goodLoop(n, iters int) []int {
 	return sizes
 }
 
+// badPoolLoop drives the persistent pool through its method entry point; a
+// loop around pool.For is as hot as one around par.For, and the
+// per-iteration make must still be flagged: true positive (and the proof
+// that method calls on par.Pool count as par calls).
+func badPoolLoop(p *par.Pool, n, iters int) {
+	for iter := 0; iter < iters; iter++ {
+		buf := make([]int, n) // true positive: per-iteration make
+		p.For(n, 0, 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				buf[i] = i
+			}
+		})
+	}
+}
+
 // historyLoop captures opt-in diagnostics on the hot path under a
 // suppression: finding emitted but suppressed.
 func historyLoop(n, iters int) [][]int {

@@ -52,6 +52,45 @@ func fillDisjoint(dst []int) {
 	})
 }
 
+// poolRace accumulates into a captured local through the persistent pool's
+// method entry point — method calls on par.Pool are par calls too: true
+// positive.
+func poolRace(p *par.Pool, xs []int) int {
+	total := 0
+	p.For(len(xs), 0, 0, func(lo, hi int) {
+		total += hi - lo
+	})
+	return total
+}
+
+// reduceClean folds through par.ForReduce with chunk-local accumulators and
+// no capture writes — the shape ForReduce exists to replace captures with:
+// true negative.
+func reduceClean(p *par.Pool, xs []int) int64 {
+	return par.ForReduce(p, len(xs), 0, 0, int64(0),
+		func(lo, hi int, acc int64) int64 {
+			for i := lo; i < hi; i++ {
+				acc += int64(xs[i])
+			}
+			return acc
+		},
+		func(a, b int64) int64 { return a + b })
+}
+
+// reduceRace writes a captured variable from the fold closure of an
+// explicitly instantiated par.ForReduce[int] — the generic wrapper must not
+// hide the call: true positive.
+func reduceRace(p *par.Pool, xs []int) int {
+	seen := 0
+	par.ForReduce[int](p, len(xs), 0, 0, 0,
+		func(lo, hi int, acc int) int {
+			seen = hi // races across workers
+			return acc + hi - lo
+		},
+		func(a, b int) int { return a + b })
+	return seen
+}
+
 // suppressedSum writes a captured local under a suppression: finding emitted
 // but suppressed.
 func suppressedSum(xs []int) int {

@@ -70,6 +70,43 @@ func detach() {
 	go monitor()
 }
 
+// pool models the persistent-pool lifetime the analyzer understands without
+// a suppression: newPool Adds to a WaitGroup FIELD before launching, and
+// Close — a different function — Waits on the same field. The launch is
+// joined at pool shutdown, not at launcher return: true negative.
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func newPool(n int) *pool {
+	p := &pool{}
+	p.wg.Add(n)
+	for w := 0; w < n; w++ {
+		go p.work()
+	}
+	return p
+}
+
+func (p *pool) work() { p.wg.Done() }
+
+// Close joins the workers launched by newPool.
+func (p *pool) Close() { p.wg.Wait() }
+
+// leakyPool Adds to a WaitGroup field but NO function in the package ever
+// Waits on it — the pool model must not excuse the launch: true positive.
+type leakyPool struct {
+	wg sync.WaitGroup
+}
+
+func newLeakyPool(n int) *leakyPool {
+	p := &leakyPool{}
+	p.wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func() { p.wg.Done() }()
+	}
+	return p
+}
+
 func worker(wg *sync.WaitGroup) { wg.Done() }
 
 func produce(ch chan int, n int) {

@@ -1,0 +1,198 @@
+package glign
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strconv"
+	"testing"
+
+	"github.com/glign/glign/internal/align"
+	"github.com/glign/glign/internal/engine"
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/par"
+	"github.com/glign/glign/internal/queries"
+	"github.com/glign/glign/internal/systems"
+)
+
+// The differential harness: every evaluation method, on every kernel, on an
+// R-MAT-style and a road-style synthetic graph, at one and at four workers,
+// must agree element-wise with the serial label-correcting reference. All
+// engines compute exact fixed points over monotone kernels, so any mismatch
+// is a bug in an engine, the scheduler, or the work-stealing pool — not
+// floating-point noise.
+//
+// Query sources are drawn by a seeded sampler. The base seed defaults to a
+// fixed value so CI is reproducible, and can be overridden with
+// GLIGN_DIFF_SEED to explore other samples; every failure message carries
+// the seed that reproduces it.
+
+// diffBatchSize is the queries-per-case sample size: big enough to exercise
+// multi-lane batch layouts, small enough that 220 cases stay fast.
+const diffBatchSize = 4
+
+// diffBaseSeed reads the sampler seed (GLIGN_DIFF_SEED overrides the fixed
+// default).
+func diffBaseSeed(t *testing.T) int64 {
+	if s := os.Getenv("GLIGN_DIFF_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("GLIGN_DIFF_SEED=%q: %v", s, err)
+		}
+		return v
+	}
+	return 0x91159
+}
+
+// caseSeed derives a per-case seed from the base seed and the case name, so
+// each case draws an independent reproducible sample.
+func caseSeed(base int64, name string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", base, name)
+	return int64(h.Sum64() >> 1)
+}
+
+// sampleSources draws diffBatchSize vertices with a splitmix-style generator
+// seeded by the case seed (no math/rand dependence, so the draw is stable
+// across Go releases).
+func sampleSources(seed int64, n int) []graph.VertexID {
+	out := make([]graph.VertexID, diffBatchSize)
+	x := uint64(seed)
+	for i := range out {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		out[i] = graph.VertexID(z % uint64(n))
+	}
+	return out
+}
+
+func TestDifferentialAllMethods(t *testing.T) {
+	// One dedicated work-stealing pool shared by every case: the harness
+	// proves the persistent pool correct under reuse across hundreds of
+	// runs, not just on a fresh pool per run.
+	pool := par.NewPool(4)
+	defer pool.Close()
+
+	graphsUnderTest := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"rmat-LJ", graph.MustGenerate(graph.LJ, graph.Tiny)},
+		{"road-CA", graph.MustGenerate(graph.RDCA, graph.Tiny)},
+	}
+	kernels := []queries.Kernel{queries.BFS, queries.SSSP, queries.SSWP, queries.SSNP, queries.Viterbi}
+	base := diffBaseSeed(t)
+
+	// The serial reference is method- and worker-independent; cache it per
+	// (graph, kernel, source) so the 11-method sweep recomputes nothing.
+	type refKey struct {
+		gi     int
+		kernel string
+		src    graph.VertexID
+	}
+	refCache := map[refKey][]queries.Value{}
+	refFor := func(gi int, g *graph.Graph, k queries.Kernel, src graph.VertexID) []queries.Value {
+		key := refKey{gi, k.Name(), src}
+		if v, ok := refCache[key]; ok {
+			return v
+		}
+		v := engine.ReferenceRun(g, queries.Query{Kernel: k, Source: src})
+		refCache[key] = v
+		return v
+	}
+
+	for gi, gc := range graphsUnderTest {
+		// The alignment profile is a per-graph precompute; building it once
+		// keeps the Glign-Inter/Batch/full cases from re-running reverse BFS
+		// per case.
+		prof := align.NewProfile(gc.g, align.DefaultHubCount, 0)
+		for _, k := range kernels {
+			for _, workers := range []int{1, 4} {
+				for _, method := range Methods() {
+					name := fmt.Sprintf("%s/%s/%s/w%d", gc.name, k.Name(), method, workers)
+					seed := caseSeed(base, name)
+					t.Run(name, func(t *testing.T) {
+						srcs := sampleSources(seed, gc.g.NumVertices())
+						buffer := make([]queries.Query, len(srcs))
+						for i, s := range srcs {
+							buffer[i] = queries.Query{Kernel: k, Source: s}
+						}
+						cfg := systems.Config{
+							BatchSize:  diffBatchSize,
+							Workers:    workers,
+							Pool:       pool,
+							Profile:    prof,
+							KeepValues: true,
+						}
+						res, err := systems.Run(method, gc.g, buffer, cfg)
+						if err != nil {
+							t.Fatalf("seed %d (GLIGN_DIFF_SEED=%d): %v", seed, base, err)
+						}
+						for qi, q := range buffer {
+							want := refFor(gi, gc.g, k, q.Source)
+							got := res.Values[qi]
+							if len(got) != len(want) {
+								t.Fatalf("query %d (source v%d): %d values, want %d [seed %d, GLIGN_DIFF_SEED=%d]",
+									qi, q.Source, len(got), len(want), seed, base)
+							}
+							for v := range want {
+								if got[v] != want[v] {
+									t.Fatalf("query %d (source v%d) disagrees with reference at vertex %d: %v != %v [seed %d, GLIGN_DIFF_SEED=%d]",
+										qi, q.Source, v, got[v], want[v], seed, base)
+								}
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialDirectionOptimized covers the pull path of the hybrid
+// engine under the pool: dense iterations run over the reversed graph, and
+// the fixed point must still match the push-only reference for every kernel.
+func TestDifferentialDirectionOptimized(t *testing.T) {
+	pool := par.NewPool(4)
+	defer pool.Close()
+	g := graph.MustGenerate(graph.LJ, graph.Tiny)
+	prof := align.NewProfile(g, align.DefaultHubCount, 0)
+	base := diffBaseSeed(t)
+	for _, k := range []queries.Kernel{queries.BFS, queries.SSSP, queries.SSWP, queries.SSNP, queries.Viterbi} {
+		for _, workers := range []int{1, 4} {
+			name := fmt.Sprintf("%s/w%d", k.Name(), workers)
+			seed := caseSeed(base, "diropt/"+name)
+			t.Run(name, func(t *testing.T) {
+				srcs := sampleSources(seed, g.NumVertices())
+				buffer := make([]queries.Query, len(srcs))
+				for i, s := range srcs {
+					buffer[i] = queries.Query{Kernel: k, Source: s}
+				}
+				res, err := systems.Run(systems.Glign, g, buffer, systems.Config{
+					BatchSize:          diffBatchSize,
+					Workers:            workers,
+					Pool:               pool,
+					Profile:            prof,
+					KeepValues:         true,
+					DirectionOptimized: true,
+				})
+				if err != nil {
+					t.Fatalf("seed %d (GLIGN_DIFF_SEED=%d): %v", seed, base, err)
+				}
+				for qi, q := range buffer {
+					want := engine.ReferenceRun(g, q)
+					got := res.Values[qi]
+					for v := range want {
+						if got[v] != want[v] {
+							t.Fatalf("query %d (source v%d) disagrees at vertex %d: %v != %v [seed %d, GLIGN_DIFF_SEED=%d]",
+								qi, q.Source, v, got[v], want[v], seed, base)
+						}
+					}
+				}
+			})
+		}
+	}
+}

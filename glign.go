@@ -37,6 +37,7 @@ import (
 	"github.com/glign/glign/internal/align"
 	"github.com/glign/glign/internal/engine"
 	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/par"
 	"github.com/glign/glign/internal/queries"
 	"github.com/glign/glign/internal/systems"
 	"github.com/glign/glign/internal/telemetry"
@@ -168,6 +169,22 @@ func WithBatchSize(b int) Option { return func(r *Runtime) { r.cfg.BatchSize = b
 
 // WithWorkers bounds parallelism (default GOMAXPROCS).
 func WithWorkers(w int) Option { return func(r *Runtime) { r.cfg.Workers = w } }
+
+// Pool is the persistent work-stealing scheduler every parallel loop runs
+// on: long-lived workers claim contiguous chunks from their own segment and
+// steal from neighbors when it drains (see DESIGN.md). One process-wide
+// pool is started lazily and shared by default.
+type Pool = par.Pool
+
+// NewPool starts a dedicated pool with n long-lived workers (n <= 0:
+// GOMAXPROCS). Close it when done; the shared default pool needs neither.
+func NewPool(n int) *Pool { return par.NewPool(n) }
+
+// WithPool runs every parallel loop of the runtime on p instead of the
+// shared process-wide pool, isolating the runtime's scheduling — and the
+// steal/imbalance telemetry it produces — from other concurrent work. A nil
+// p keeps the shared pool.
+func WithPool(p *Pool) Option { return func(r *Runtime) { r.cfg.Pool = p } }
 
 // WithBatchingWindow sets the affinity-batching window B_w (default: whole
 // buffer).

@@ -53,6 +53,7 @@ func (e Congra) Run(g *graph.Graph, batch []queries.Query, opt core.Options) (*c
 			// uncontrolled iteration structure the design has.
 			r := engine.Run(g, q, engine.Options{
 				Workers:       opt.Workers,
+				Pool:          opt.Pool,
 				MaxIterations: opt.MaxIterations,
 				Telemetry:     opt.Telemetry,
 				TelemetryLane: i,

@@ -122,7 +122,7 @@ func (e GraphM) Run(g *graph.Graph, batch []queries.Query, opt core.Options) (*c
 		// every query's active vertices of that block against it. Blocks
 		// are processed in parallel; within a block, jobs run one after
 		// another (each job is independent in GraphM).
-		par.For(len(parts), workers, 1, func(plo, phi int) {
+		par.OrDefault(opt.Pool).For(len(parts), workers, 1, func(plo, phi int) {
 			var edges, relaxes, writes int64
 			for pi := plo; pi < phi; pi++ {
 				vlo, vhi := parts[pi][0], parts[pi][1]

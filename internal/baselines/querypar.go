@@ -28,7 +28,7 @@ func (QueryParallel) Run(g *graph.Graph, batch []queries.Query, opt core.Options
 		return nil, err
 	}
 	res := &core.BatchResult{B: st.B, N: st.N, Values: st.Vals}
-	par.For(len(batch), opt.Workers, 1, func(lo, hi int) {
+	par.OrDefault(opt.Pool).For(len(batch), opt.Workers, 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			vals := engine.ReferenceRun(g, batch[i])
 			for v := 0; v < st.N; v++ {

@@ -6,6 +6,7 @@ import (
 
 	"github.com/glign/glign/internal/graph"
 	"github.com/glign/glign/internal/memtrace"
+	"github.com/glign/glign/internal/par"
 	"github.com/glign/glign/internal/queries"
 	"github.com/glign/glign/internal/telemetry"
 )
@@ -15,6 +16,11 @@ type Options struct {
 	// Workers bounds parallelism; <= 0 means GOMAXPROCS. Runs with a Tracer
 	// are forced single-threaded so the access stream is deterministic.
 	Workers int
+	// Pool is the work-stealing scheduler the engines submit their parallel
+	// loops to; nil means the shared par.Default pool. Injecting a pool
+	// isolates a run's scheduling (and its steal/imbalance telemetry) from
+	// other concurrent work.
+	Pool *par.Pool
 	// Alignment is the alignment vector I (paper Definition 3.3):
 	// Alignment[i] is the global iteration at which query i's evaluation
 	// starts. Nil means all zeros (every query starts immediately).
@@ -140,12 +146,17 @@ func PrepareBatch(g *graph.Graph, batch []queries.Query, opt Options) (*BatchSet
 		st.Alignment = make([]int, b)
 	}
 	st.Vals = queries.NewValues(n*b, 0)
-	for v := 0; v < n; v++ {
-		base := v * b
-		for i := 0; i < b; i++ {
-			st.Vals.Set(base+i, st.Identity[i])
+	// The identity fill touches all n*b cells; for large graphs that is the
+	// batch's first cold pass over the value array, so spread it over the
+	// pool (disjoint vertex blocks; Set stores are atomic).
+	par.OrDefault(opt.Pool).For(n, opt.Workers, 0, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			base := v * b
+			for i := 0; i < b; i++ {
+				st.Vals.Set(base+i, st.Identity[i])
+			}
 		}
-	}
+	})
 	return st, nil
 }
 

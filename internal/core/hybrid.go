@@ -26,7 +26,7 @@ import (
 // pullIteration runs one dense global iteration: for every vertex, pull
 // from active in-neighbors across every lane. Returns the next frontier.
 func pullIteration(rev *graph.Graph, st *BatchSetup, kinds []queries.OpKind,
-	cur *frontier.Subset, workers int, res *BatchResult) *frontier.Subset {
+	cur *frontier.Subset, pool *par.Pool, workers int, res *BatchResult) *frontier.Subset {
 	n, b := st.N, st.B
 	// Homogeneous batches get the fused per-kind loop, as in push mode.
 	homo := kinds[0]
@@ -37,7 +37,7 @@ func pullIteration(rev *graph.Graph, st *BatchSetup, kinds []queries.OpKind,
 		}
 	}
 	next := frontier.New(n)
-	par.For(n, workers, 0, func(lo, hi int) {
+	pool.For(n, workers, 0, func(lo, hi int) {
 		var edges, relaxes, writes int64
 		for d := lo; d < hi; d++ {
 			ins, ws := rev.OutEdges(graph.VertexID(d))
@@ -135,11 +135,20 @@ func pullEdge(st *BatchSetup, homo queries.OpKind, kinds []queries.OpKind, sbase
 	return improved
 }
 
-// shouldPull applies Ligra's density heuristic to the unified frontier.
-func shouldPull(g *graph.Graph, cur *frontier.Subset) bool {
-	outSum := 0
-	for _, v := range cur.Sparse() {
-		outSum += g.OutDegree(v)
-	}
+// shouldPull applies Ligra's density heuristic to the unified frontier. The
+// out-degree sum over the frontier is a fold, so it runs as a parallel
+// reduction on the pool (exact: integer addition commutes); the decision is
+// made once per global iteration on frontiers that can span most of the
+// graph.
+func shouldPull(g *graph.Graph, cur *frontier.Subset, pool *par.Pool, workers int) bool {
+	active := cur.Sparse()
+	outSum := par.ForReduce(pool, len(active), workers, 0, 0,
+		func(lo, hi int, acc int) int {
+			for i := lo; i < hi; i++ {
+				acc += g.OutDegree(active[i])
+			}
+			return acc
+		},
+		func(a, b int) int { return a + b })
 	return cur.IsDense(outSum, g.NumEdges())
 }

@@ -8,6 +8,7 @@ import (
 	"github.com/glign/glign/internal/engine"
 	"github.com/glign/glign/internal/frontier"
 	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/par"
 	"github.com/glign/glign/internal/queries"
 )
 
@@ -68,10 +69,11 @@ func TestShouldPullHeuristic(t *testing.T) {
 		}
 		return s
 	}
-	if shouldPull(g, frontierOf(1)) {
+	pool := par.Default()
+	if shouldPull(g, frontierOf(1), pool, 0) {
 		t.Fatal("single-vertex frontier classified dense")
 	}
-	if !shouldPull(g, frontierOf(g.NumVertices())) {
+	if !shouldPull(g, frontierOf(g.NumVertices()), pool, 0) {
 		t.Fatal("full frontier classified sparse")
 	}
 }

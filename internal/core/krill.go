@@ -42,6 +42,7 @@ func (krill) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchResu
 	res.UnionFrontierSizes = make([]int, 0, iterCapHint(opt.MaxIterations))
 
 	tr := opt.Tracer
+	pool := par.OrDefault(opt.Pool)
 	workers := opt.Workers
 	var addr *TraceAddressing
 	if tr != nil {
@@ -86,7 +87,7 @@ func (krill) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchResu
 		if tr != nil {
 			TraceRegionScan(tr, addr.unionCur, int64(len(union.Words()))*8)
 		}
-		par.For(len(active), workers, 0, func(lo, hi int) {
+		pool.For(len(active), workers, 0, func(lo, hi int) {
 			var edges, relaxes, writes int64
 			for ai := lo; ai < hi; ai++ {
 				v := active[ai]

@@ -28,6 +28,7 @@ func (ligraS) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchRes
 	for i, q := range batch {
 		r := engine.Run(g, q, engine.Options{
 			Workers:       opt.Workers,
+			Pool:          opt.Pool,
 			MaxIterations: opt.MaxIterations,
 			Tracer:        opt.Tracer,
 			Telemetry:     opt.Telemetry,

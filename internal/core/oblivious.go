@@ -149,6 +149,7 @@ func (oblivious) Run(g *graph.Graph, batch []queries.Query, opt Options) (*Batch
 	res.UnionFrontierSizes = make([]int, 0, iterCapHint(opt.MaxIterations))
 
 	tr := opt.Tracer
+	pool := par.OrDefault(opt.Pool)
 	workers := opt.Workers
 	var addr *TraceAddressing
 	if tr != nil {
@@ -185,8 +186,8 @@ func (oblivious) Run(g *graph.Graph, batch []queries.Query, opt Options) (*Batch
 
 		// Direction optimization: dense iterations pull over the reversed
 		// graph (never under tracing, which models the paper's push design).
-		if tr == nil && opt.ReverseGraph != nil && shouldPull(g, cur) {
-			cur = pullIteration(opt.ReverseGraph, st, kinds, cur, workers, res)
+		if tr == nil && opt.ReverseGraph != nil && shouldPull(g, cur, pool, workers) {
+			cur = pullIteration(opt.ReverseGraph, st, kinds, cur, pool, workers, res)
 			if opt.Telemetry != nil {
 				recordIteration(opt.Telemetry, st, res, iter, frontierSize, telemetry.ModePull, injected, prev)
 			}
@@ -198,7 +199,7 @@ func (oblivious) Run(g *graph.Graph, batch []queries.Query, opt Options) (*Batch
 		if tr != nil {
 			TraceRegionScan(tr, addr.unionCur, int64(len(cur.Words()))*8)
 		}
-		par.For(len(active), workers, 0, func(lo, hi int) {
+		pool.For(len(active), workers, 0, func(lo, hi int) {
 			scratch := newObliviousScratch(b)
 			var edges, relaxes, writes int64
 			for ai := lo; ai < hi; ai++ {

@@ -35,6 +35,7 @@ func (twoLevel) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchR
 	res.UnionFrontierSizes = make([]int, 0, iterCapHint(opt.MaxIterations))
 
 	tr := opt.Tracer
+	pool := par.OrDefault(opt.Pool)
 	workers := opt.Workers
 	var addr *TraceAddressing
 	if tr != nil {
@@ -88,7 +89,7 @@ func (twoLevel) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchR
 		if tr != nil {
 			TraceRegionScan(tr, addr.unionCur, int64(len(union.Words()))*8)
 		}
-		par.For(len(active), workers, 0, func(lo, hi int) {
+		pool.For(len(active), workers, 0, func(lo, hi int) {
 			lanes := make([]int32, 0, b)
 			var edges, relaxes, writes int64
 			for ai := lo; ai < hi; ai++ {

@@ -16,6 +16,11 @@ type Options struct {
 	// Workers bounds parallelism; <= 0 means GOMAXPROCS. Tracing runs are
 	// forced single-threaded for deterministic access order.
 	Workers int
+	// Pool is the work-stealing scheduler the run submits its parallel loops
+	// to; nil means the shared par.Default pool. Injecting a pool isolates a
+	// run's scheduling (and its steal/imbalance telemetry) from other
+	// concurrent work.
+	Pool *par.Pool
 	// MaxIterations stops evaluation early when > 0 (monotone kernels
 	// otherwise run to their natural fixed point).
 	MaxIterations int
@@ -100,6 +105,7 @@ func Run(g *graph.Graph, q queries.Query, opt Options) *Result {
 	res.Frontiers = make([]*frontier.Subset, 0, iterHint)
 
 	tr := opt.Tracer
+	pool := par.OrDefault(opt.Pool)
 	workers := opt.Workers
 	if tr != nil {
 		workers = 1
@@ -140,7 +146,7 @@ func Run(g *graph.Graph, q queries.Query, opt Options) *Result {
 			// Materializing the sparse view scans the frontier bitmap.
 			traceScan(tr, addr.curFront, int64(len(cur.Words()))*8)
 		}
-		par.For(len(active), workers, 0, func(lo, hi int) {
+		pool.For(len(active), workers, 0, func(lo, hi int) {
 			var edges, verts, writes int64
 			for i := lo; i < hi; i++ {
 				v := active[i]
@@ -225,12 +231,14 @@ func traceScan(tr memtrace.Tracer, base, size int64) {
 func BFSHops(g *graph.Graph, src graph.VertexID, workers int) []int32 {
 	res := Run(g, queries.Query{Kernel: queries.BFS, Source: src}, Options{Workers: workers})
 	hops := make([]int32, len(res.Values))
-	for i, v := range res.Values {
-		if v == queries.BFS.Identity() {
-			hops[i] = -1
-		} else {
-			hops[i] = int32(v)
+	par.For(len(res.Values), workers, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if res.Values[i] == queries.BFS.Identity() {
+				hops[i] = -1
+			} else {
+				hops[i] = int32(res.Values[i])
+			}
 		}
-	}
+	})
 	return hops
 }

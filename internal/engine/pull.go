@@ -30,6 +30,7 @@ func RunPull(g, rev *graph.Graph, q queries.Query, opt Options) *Result {
 
 	cur := frontier.FromVertices(n, q.Source)
 	res := &Result{}
+	pool := par.OrDefault(opt.Pool)
 	workers := opt.Workers
 
 	// Same per-iteration hygiene as Run: preallocate the iteration records
@@ -59,7 +60,7 @@ func RunPull(g, rev *graph.Graph, q queries.Query, opt Options) *Result {
 		} else {
 			next.Clear()
 		}
-		par.For(n, workers, 0, func(lo, hi int) {
+		pool.For(n, workers, 0, func(lo, hi int) {
 			var edges, verts int64
 			for d := lo; d < hi; d++ {
 				ins, ws := rev.OutEdges(graph.VertexID(d))

@@ -43,20 +43,36 @@ func runParCapture(p *Pass) {
 	}
 }
 
-// isParCall reports whether call invokes anything exported by the
-// internal/par package (For, ForEach, and whatever joins them later).
+// isParCall reports whether call invokes anything defined by the
+// internal/par package: package-qualified helpers (par.For, par.ForEach,
+// par.ForReduce), and methods on its types (pool.For for a *par.Pool) — the
+// persistent pool made the runtime's entry points methods, and the hot
+// regions and closure checks must follow them.
 func isParCall(info *types.Info, call *ast.CallExpr) bool {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
+	fun := ast.Unparen(call.Fun)
+	// Explicit generic instantiations (par.ForReduce[int64]) wrap the
+	// callee; peel to the underlying selector.
+	switch x := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(x.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(x.X)
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
 	if !ok {
 		return false
 	}
-	// Generic instantiations (par.ForEach[T]) wrap the selector in an
-	// IndexExpr; the type-checked Fun still resolves through the selector.
-	pkg := pkgNameOf(info, sel.X)
-	if pkg == nil {
-		return false
+	// Package-qualified call: par.For, par.ForReduce, ...
+	if pkg := pkgNameOf(info, sel.X); pkg != nil {
+		return importPathEndsWith(pkg.Path(), "internal/par")
 	}
-	return importPathEndsWith(pkg.Path(), "internal/par")
+	// Method call on an internal/par type: pool.For, p.drain, ...
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		if fn, ok := s.Obj().(*types.Func); ok && fn.Pkg() != nil {
+			return importPathEndsWith(fn.Pkg().Path(), "internal/par")
+		}
+	}
+	return false
 }
 
 // checkParClosure walks one closure body and reports writes whose target is

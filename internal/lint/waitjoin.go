@@ -18,6 +18,17 @@ import (
 // a channel receive, or a range over a channel) clears it, and whatever is
 // still pending in the exit block's entry fact is reported. Joins inside
 // deferred statements count for every exit, matching the runtime semantics.
+//
+// One structured-lifetime pattern intentionally spans functions: a
+// persistent worker pool (par.Pool) launches long-lived goroutines in its
+// constructor and joins them in Close. The analysis models it precisely
+// rather than suppressing: a launch is pool-structured when the launching
+// function Adds to a sync.WaitGroup FIELD before the go statement and some
+// other function in the package Waits on that same field — the join still
+// exists on every pool lifetime, it just lives in the closer instead of the
+// launcher. Local WaitGroups do not qualify (a local can only be waited on
+// in the launching function), so fork/join primitives keep the strict
+// every-exit-path rule.
 func WaitJoin() *Analyzer {
 	return &Analyzer{
 		Name: "waitjoin",
@@ -56,6 +67,13 @@ func runWaitJoin(p *Pass) {
 		problem := &waitJoinProblem{info: info}
 		res := ForwardFlow(cfg, problem)
 		pending, _ := res.In[cfg.Exit].(goSet)
+		if len(pending) > 0 && poolStructured(p, info, fd) {
+			// Persistent-pool lifetime: the launcher Adds to a WaitGroup
+			// field that another function in the package (the pool's Close)
+			// Waits on. The workers are joined — at pool shutdown, not at
+			// launcher return.
+			continue
+		}
 		var launches []*ast.GoStmt
 		for g := range pending {
 			launches = append(launches, g)
@@ -160,6 +178,78 @@ func (wp *waitJoinProblem) Transfer(n ast.Node, fact any) any {
 		return out
 	}
 	return in
+}
+
+// poolStructured reports whether fd participates in the persistent-pool
+// lifetime pattern: it Adds to at least one sync.WaitGroup struct field, and
+// some other function in the package calls Wait on that same field. The
+// field requirement is what scopes the model — the WaitGroup must outlive
+// the launcher for a cross-function join to be reachable at all.
+func poolStructured(p *Pass, info *types.Info, fd *ast.FuncDecl) bool {
+	for _, field := range waitGroupFieldCalls(info, fd.Body, "Add") {
+		if fieldWaitedInPackage(p, field, fd) {
+			return true
+		}
+	}
+	return false
+}
+
+// waitGroupFieldCalls returns the sync.WaitGroup struct fields that receive
+// a call to the named method inside body, outside nested function literals.
+func waitGroupFieldCalls(info *types.Info, body ast.Node, method string) []*types.Var {
+	var out []*types.Var
+	seen := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != method {
+			return true
+		}
+		recv, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true // p.wg.Add: the receiver must itself be a field selection
+		}
+		field := rootVar(info, recv)
+		if field == nil || !field.IsField() || !isWaitGroup(field.Type()) || seen[field] {
+			return true
+		}
+		seen[field] = true
+		out = append(out, field)
+		return true
+	})
+	return out
+}
+
+// fieldWaitedInPackage reports whether any function of the package other
+// than exclude calls Wait on the given WaitGroup field.
+func fieldWaitedInPackage(p *Pass, field *types.Var, exclude *ast.FuncDecl) bool {
+	for _, fd := range funcDecls(p.Pkg) {
+		if fd == exclude || fd.Body == nil {
+			continue
+		}
+		for _, waited := range waitGroupFieldCalls(p.Pkg.Info, fd.Body, "Wait") {
+			if waited == field {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup.
+func isWaitGroup(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
 }
 
 // containsJoin reports whether n contains (outside nested function literals)

@@ -1,0 +1,82 @@
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentPoolStress hammers one shared Pool with concurrent For and
+// ForReduce loops from many goroutines across GOMAXPROCS 1, 2 and 8. Its job
+// is to give the race detector (verify.sh runs this package under -race)
+// real interleavings to bite on: concurrent job dispatch, segment-cursor
+// claims, cross-job stealing by parked workers, and the completion protocol
+// all overlap here. Every loop's result is checked exactly, so a lost or
+// double-executed chunk is a failure even without -race.
+func TestConcurrentPoolStress(t *testing.T) {
+	for _, procs := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("gomaxprocs=%d", procs), func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+
+			p := NewPool(4)
+			defer p.Close()
+
+			const submitters = 6
+			const repeats = 25
+			var wg sync.WaitGroup
+			for s := 0; s < submitters; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					for rep := 0; rep < repeats; rep++ {
+						// Vary geometry per submitter and repeat so jobs of
+						// different shapes overlap in the pool.
+						total := 1000 + 997*s + 13*rep
+						workers := 1 + (s+rep)%5
+						seen := make([]int32, total)
+						p.For(total, workers, 0, func(lo, hi int) {
+							for i := lo; i < hi; i++ {
+								atomic.AddInt32(&seen[i], 1)
+							}
+						})
+						for i, c := range seen {
+							if c != 1 {
+								t.Errorf("submitter %d rep %d: index %d visited %d times", s, rep, i, c)
+								return
+							}
+						}
+						got := ForReduce(p, total, workers, 0, int64(0),
+							func(lo, hi int, acc int64) int64 {
+								for i := lo; i < hi; i++ {
+									acc += int64(i)
+								}
+								return acc
+							},
+							func(a, b int64) int64 { return a + b })
+						if want := int64(total) * int64(total-1) / 2; got != want {
+							t.Errorf("submitter %d rep %d: sum = %d, want %d", s, rep, got, want)
+							return
+						}
+					}
+				}(s)
+			}
+			wg.Wait()
+
+			// The shared counters must be coherent after the storm.
+			st := p.Stats()
+			var perWorker int64
+			for _, c := range st.ChunksPerWorker {
+				perWorker += c
+			}
+			if perWorker != st.Chunks {
+				t.Errorf("ChunksPerWorker sums to %d, want %d", perWorker, st.Chunks)
+			}
+			if st.Jobs+st.InlineRuns < submitters*repeats {
+				t.Errorf("Jobs+InlineRuns = %d, want >= %d", st.Jobs+st.InlineRuns, submitters*repeats)
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"github.com/glign/glign/internal/align"
+	"github.com/glign/glign/internal/par"
 	"github.com/glign/glign/internal/queries"
 	"github.com/glign/glign/internal/telemetry"
 )
@@ -46,6 +47,11 @@ type Affinity struct {
 	// Telemetry, when non-nil, receives one BatchingDecision per window —
 	// the ranked order and the arrival estimates that produced it.
 	Telemetry *telemetry.RunTrace
+	// Workers bounds the parallelism of the arrival-estimate precompute;
+	// <= 0 means GOMAXPROCS. Pool selects the scheduler it runs on (nil
+	// means the shared par.Default pool).
+	Workers int
+	Pool    *par.Pool
 }
 
 // Name implements Policy.
@@ -67,9 +73,18 @@ func (a Affinity) MakeBatches(buffer []queries.Query, batchSize int) [][]int {
 		for i := range idx {
 			idx[i] += lo
 		}
+		// Precompute the estimates once per window on the pool (each is a
+		// hop-table lookup, but windows can span thousands of queries), then
+		// sort against the table instead of re-deriving inside the comparator.
+		est := make([]int, hi-lo)
+		par.OrDefault(a.Pool).For(hi-lo, a.Workers, 0, func(elo, ehi int) {
+			for i := elo; i < ehi; i++ {
+				est[i] = a.Profile.ArrivalEstimate(buffer[lo+i].Source)
+			}
+		})
 		sort.SliceStable(idx, func(x, y int) bool {
-			ax := a.Profile.ArrivalEstimate(buffer[idx[x]].Source)
-			ay := a.Profile.ArrivalEstimate(buffer[idx[y]].Source)
+			ax := est[idx[x]-lo]
+			ay := est[idx[y]-lo]
 			if ax != ay {
 				return ax < ay
 			}
@@ -78,7 +93,7 @@ func (a Affinity) MakeBatches(buffer []queries.Query, batchSize int) [][]int {
 		if a.Telemetry != nil {
 			arrivals := make([]int, len(idx))
 			for i, bi := range idx {
-				arrivals[i] = a.Profile.ArrivalEstimate(buffer[bi].Source)
+				arrivals[i] = est[bi-lo]
 			}
 			a.Telemetry.RecordDecision(telemetry.BatchingDecision{
 				Policy:      a.Name(),

@@ -10,6 +10,7 @@ import (
 	"github.com/glign/glign/internal/core"
 	"github.com/glign/glign/internal/graph"
 	"github.com/glign/glign/internal/memtrace"
+	"github.com/glign/glign/internal/par"
 	"github.com/glign/glign/internal/queries"
 	"github.com/glign/glign/internal/sched"
 	"github.com/glign/glign/internal/telemetry"
@@ -42,6 +43,11 @@ type Config struct {
 	BatchSize int
 	// Workers bounds parallelism (<= 0: GOMAXPROCS).
 	Workers int
+	// Pool is the work-stealing scheduler every parallel loop of the run
+	// submits to; nil means the shared par.Default pool. Injecting a
+	// dedicated pool isolates the run's scheduling and makes the scheduler
+	// telemetry section (steals, imbalance) attributable to this run alone.
+	Pool *par.Pool
 	// Window is the affinity-batching window B_w (<= 0: whole buffer).
 	Window int
 	// Profile supplies closestHV; required by Glign-Inter, Glign-Batch and
@@ -115,9 +121,9 @@ func planFor(method string, g *graph.Graph, prof *align.Profile, cfg Config, run
 	case GlignInter:
 		return methodPlan{fcfs, core.GlignIntra, true}, nil
 	case GlignBatch:
-		return methodPlan{sched.Affinity{Profile: prof, Window: cfg.Window, Telemetry: run}, core.GlignIntra, false}, nil
+		return methodPlan{sched.Affinity{Profile: prof, Window: cfg.Window, Telemetry: run, Workers: cfg.Workers, Pool: cfg.Pool}, core.GlignIntra, false}, nil
 	case Glign:
-		return methodPlan{sched.Affinity{Profile: prof, Window: cfg.Window, Telemetry: run}, core.GlignIntra, true}, nil
+		return methodPlan{sched.Affinity{Profile: prof, Window: cfg.Window, Telemetry: run, Workers: cfg.Workers, Pool: cfg.Pool}, core.GlignIntra, true}, nil
 	case IBFS:
 		return methodPlan{baselines.IBFS{Graph: g, Telemetry: run}, core.LigraC, false}, nil
 	case QueryParallel:
@@ -170,7 +176,7 @@ func Run(method string, g *graph.Graph, buffer []queries.Query, cfg Config) (*Re
 	res.Alignments = make([][]int, len(res.Batches))
 	for bi, idx := range res.Batches {
 		batch := sched.Select(buffer, idx)
-		opt := core.Options{Workers: cfg.Workers, Tracer: cfg.Tracer}
+		opt := core.Options{Workers: cfg.Workers, Pool: cfg.Pool, Tracer: cfg.Tracer}
 		if cfg.DirectionOptimized && plan.engine.Name() == core.GlignIntra.Name() {
 			opt.ReverseGraph = prof.Rev
 		}
@@ -203,6 +209,10 @@ func Run(method string, g *graph.Graph, buffer []queries.Query, cfg Config) (*Re
 	}
 	res.Duration = time.Since(start)
 	run.Finish(res.Duration)
+	// Snapshot the scheduler counters of the pool the run executed on, so the
+	// exported metrics carry the steal/imbalance picture alongside the
+	// per-iteration engine records.
+	cfg.Telemetry.ObservePool(par.OrDefault(cfg.Pool))
 	return res, nil
 }
 

@@ -1,0 +1,60 @@
+package telemetry
+
+import "github.com/glign/glign/internal/par"
+
+// SchedulerMetrics is the work-stealing pool section of the metrics
+// snapshot: the pool's monotone scheduling counters plus a load-imbalance
+// histogram over the per-worker chunk counts. Counters are cumulative over
+// the pool's lifetime, so a run on the shared par.Default pool reports the
+// process-wide picture; inject a dedicated pool (Config.Pool) to attribute
+// the section to one run.
+type SchedulerMetrics struct {
+	// Workers is the pool's long-lived background worker count.
+	Workers int `json:"workers"`
+	// Jobs counts dispatched parallel loops; InlineRuns the loops that ran
+	// inline on the caller (single worker or sub-grain totals).
+	Jobs       int64 `json:"jobs"`
+	InlineRuns int64 `json:"inline_runs"`
+	// Chunks counts executed chunks; Steals the subset claimed from another
+	// participant's segment; Parks how often a worker went back to waiting.
+	Chunks int64 `json:"chunks"`
+	Steals int64 `json:"steals"`
+	Parks  int64 `json:"parks"`
+	// ChunksPerWorker breaks Chunks down by executor (index 0 aggregates
+	// submitting goroutines, index i >= 1 is pool worker i).
+	ChunksPerWorker []int64 `json:"chunks_per_worker"`
+	// ChunkImbalance is the power-of-two histogram of ChunksPerWorker — a
+	// wide spread means the stealing failed to level the load.
+	ChunkImbalance []HistBucket `json:"chunk_imbalance"`
+}
+
+// ObservePool snapshots the scheduling counters of p into the collector's
+// scheduler section (last observation wins — callers observe once per run,
+// after the run's loops have joined). Nil-safe on both sides: a nil
+// collector means telemetry is disabled, a nil pool means nothing to record.
+func (c *Collector) ObservePool(p *par.Pool) {
+	if c == nil {
+		return
+	}
+	if p == nil {
+		return
+	}
+	s := p.Stats()
+	var imb Histogram
+	for _, n := range s.ChunksPerWorker {
+		imb.Observe(n)
+	}
+	sm := &SchedulerMetrics{
+		Workers:         s.Workers,
+		Jobs:            s.Jobs,
+		InlineRuns:      s.InlineRuns,
+		Chunks:          s.Chunks,
+		Steals:          s.Steals,
+		Parks:           s.Parks,
+		ChunksPerWorker: s.ChunksPerWorker,
+		ChunkImbalance:  imb.Snapshot(),
+	}
+	c.mu.Lock()
+	c.sched = sm
+	c.mu.Unlock()
+}

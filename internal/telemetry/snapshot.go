@@ -11,7 +11,11 @@ type Metrics struct {
 	Schema     string                  `json:"schema"`
 	Counters   CounterSnapshot         `json:"counters"`
 	Histograms map[string][]HistBucket `json:"histograms"`
-	Runs       []*RunMetrics           `json:"runs"`
+	// Scheduler carries the work-stealing pool counters of the last observed
+	// pool (see Collector.ObservePool); omitted when no pool was observed.
+	// Additive field — the schema version is unchanged.
+	Scheduler *SchedulerMetrics `json:"scheduler,omitempty"`
+	Runs      []*RunMetrics     `json:"runs"`
 }
 
 // RunMetrics is the snapshot of one method run (one RunTrace).
@@ -48,6 +52,7 @@ func (c *Collector) Snapshot() *Metrics {
 	}
 	c.mu.Lock()
 	runs := append([]*RunTrace(nil), c.runs...)
+	sched := c.sched
 	c.mu.Unlock()
 	m := &Metrics{
 		Schema:   SchemaVersion,
@@ -56,7 +61,8 @@ func (c *Collector) Snapshot() *Metrics {
 			"frontier_size":       c.FrontierSizes.Snapshot(),
 			"edges_per_iteration": c.EdgesPerIteration.Snapshot(),
 		},
-		Runs: make([]*RunMetrics, 0, len(runs)),
+		Scheduler: sched,
+		Runs:      make([]*RunMetrics, 0, len(runs)),
 	}
 	for _, r := range runs {
 		m.Runs = append(m.Runs, r.Snapshot())

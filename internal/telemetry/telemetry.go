@@ -21,8 +21,9 @@ type Collector struct {
 	// EdgesPerIteration observes edges processed per global iteration.
 	EdgesPerIteration Histogram
 
-	mu   sync.Mutex
-	runs []*RunTrace
+	mu    sync.Mutex
+	runs  []*RunTrace
+	sched *SchedulerMetrics
 }
 
 // NewCollector returns an empty enabled collector.

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/glign/glign/internal/par"
 )
 
 func TestNilSafety(t *testing.T) {
@@ -272,4 +274,48 @@ func TestPublishRebind(t *testing.T) {
 	if m := expvar.Get("telemetry_test_metrics"); m == nil || !json.Valid([]byte(m.String())) {
 		t.Errorf("metrics var invalid: %v", m)
 	}
+}
+
+func TestObservePoolPopulatesScheduler(t *testing.T) {
+	c := NewCollector()
+	if s := c.Snapshot(); s.Scheduler != nil {
+		t.Fatalf("scheduler section before any observation = %+v, want nil", s.Scheduler)
+	}
+	p := par.NewPool(2)
+	defer p.Close()
+	var hit [1 << 12]int64
+	p.For(len(hit), 2, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hit[i]++
+		}
+	})
+	c.ObservePool(p)
+	s := c.Snapshot()
+	if s.Scheduler == nil {
+		t.Fatal("scheduler section missing after ObservePool")
+	}
+	if s.Scheduler.Workers != 2 {
+		t.Errorf("workers = %d, want 2", s.Scheduler.Workers)
+	}
+	if s.Scheduler.Jobs < 1 || s.Scheduler.Chunks < 1 {
+		t.Errorf("jobs = %d chunks = %d, want both >= 1", s.Scheduler.Jobs, s.Scheduler.Chunks)
+	}
+	var total int64
+	for _, n := range s.Scheduler.ChunksPerWorker {
+		total += n
+	}
+	if total != s.Scheduler.Chunks {
+		t.Errorf("chunks_per_worker sums to %d, want %d", total, s.Scheduler.Chunks)
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"scheduler"`) {
+		t.Errorf("JSON missing scheduler section: %s", raw)
+	}
+	// Nil-safety on both sides of the call.
+	var nilc *Collector
+	nilc.ObservePool(p)
+	c.ObservePool(nil)
 }

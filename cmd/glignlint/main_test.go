@@ -159,6 +159,24 @@ func TestWaitJoinFixture(t *testing.T) {
 	}
 }
 
+// TestWaitJoinServeFixture pins the analyzer's serve-package scope: the live
+// server's two-goroutine lifecycle (wg field Add in the constructor, Wait in
+// Close) must pass the pool-structured model with no suppression, and a
+// detached launch in the same package must still fire.
+func TestWaitJoinServeFixture(t *testing.T) {
+	findings := runAnalyzer(t, "waitjoin", "testdata/src/waitjoin/serve")
+	got := formatFindings(t, findings)
+	checkGolden(t, "waitjoin-serve", got)
+	if active, suppressed := counts(findings); active != 1 || suppressed != 0 {
+		t.Errorf("want exactly 1 active and 0 suppressed, got %d/%d:\n%s", active, suppressed, got)
+	}
+	for _, clean := range []string{"newServer", "waitReply"} {
+		if strings.Contains(got, clean) {
+			t.Errorf("false positive in %s:\n%s", clean, got)
+		}
+	}
+}
+
 func TestDocLintFixture(t *testing.T) {
 	findings := runAnalyzer(t, "doclint", "testdata/src/doclint/...")
 	got := formatFindings(t, findings)

@@ -1,0 +1,55 @@
+// Package serve is a waitjoin fixture pinning the live-server lifecycle:
+// the package name puts it in the analyzer's scope, the server type models
+// the real internal/serve pattern (batcher and executor goroutines launched
+// in the constructor against a WaitGroup field that Close waits on — a true
+// negative under the pool-structured model), and one detached launch proves
+// the package is actually checked.
+package serve
+
+import "sync"
+
+// server mirrors the real Server lifecycle: two long-lived goroutines
+// started in the constructor, joined at Close. The WaitGroup is a FIELD, so
+// the cross-function join is reachable and the pool-structured model must
+// accept it without a suppression.
+type server struct {
+	wg      sync.WaitGroup
+	batches chan int
+}
+
+func newServer() *server {
+	s := &server{batches: make(chan int)}
+	s.wg.Add(2)
+	go s.batchLoop()
+	go s.execLoop()
+	return s
+}
+
+func (s *server) batchLoop() {
+	defer s.wg.Done()
+	close(s.batches)
+}
+
+func (s *server) execLoop() {
+	defer s.wg.Done()
+	for range s.batches {
+	}
+}
+
+// Close joins both serving goroutines — the Wait that licenses newServer's
+// launches.
+func (s *server) Close() { s.wg.Wait() }
+
+// submitAsync leaks a completion goroutine past return with no join
+// anywhere in the package: true positive, proving serve is in scope.
+func submitAsync(done chan struct{}) {
+	go func() { close(done) }()
+}
+
+// waitReply launches a worker and joins it by receiving the reply on every
+// path: true negative.
+func waitReply() int {
+	ch := make(chan int, 1)
+	go func() { ch <- 1 }()
+	return <-ch
+}

@@ -52,11 +52,11 @@ func caseSeed(base int64, name string) int64 {
 	return int64(h.Sum64() >> 1)
 }
 
-// sampleSources draws diffBatchSize vertices with a splitmix-style generator
-// seeded by the case seed (no math/rand dependence, so the draw is stable
-// across Go releases).
-func sampleSources(seed int64, n int) []graph.VertexID {
-	out := make([]graph.VertexID, diffBatchSize)
+// sampleSources draws count vertices with a splitmix-style generator seeded
+// by the case seed (no math/rand dependence, so the draw is stable across Go
+// releases).
+func sampleSources(seed int64, n, count int) []graph.VertexID {
+	out := make([]graph.VertexID, count)
 	x := uint64(seed)
 	for i := range out {
 		x += 0x9e3779b97f4a7c15
@@ -115,7 +115,7 @@ func TestDifferentialAllMethods(t *testing.T) {
 					name := fmt.Sprintf("%s/%s/%s/w%d", gc.name, k.Name(), method, workers)
 					seed := caseSeed(base, name)
 					t.Run(name, func(t *testing.T) {
-						srcs := sampleSources(seed, gc.g.NumVertices())
+						srcs := sampleSources(seed, gc.g.NumVertices(), diffBatchSize)
 						buffer := make([]queries.Query, len(srcs))
 						for i, s := range srcs {
 							buffer[i] = queries.Query{Kernel: k, Source: s}
@@ -166,7 +166,7 @@ func TestDifferentialDirectionOptimized(t *testing.T) {
 			name := fmt.Sprintf("%s/w%d", k.Name(), workers)
 			seed := caseSeed(base, "diropt/"+name)
 			t.Run(name, func(t *testing.T) {
-				srcs := sampleSources(seed, g.NumVertices())
+				srcs := sampleSources(seed, g.NumVertices(), diffBatchSize)
 				buffer := make([]queries.Query, len(srcs))
 				for i, s := range srcs {
 					buffer[i] = queries.Query{Kernel: k, Source: s}

@@ -1,0 +1,57 @@
+package glign
+
+import (
+	"time"
+
+	"github.com/glign/glign/internal/serve"
+)
+
+// Live serving: Serve starts a long-lived server that admits queries one at
+// a time onto a bounded queue, batches them with a time-and-size window
+// under the configured method's policy, and executes the batches on the
+// shared work-stealing pool — the online counterpart of Runtime.Run, which
+// evaluates a pre-materialized buffer. See internal/serve and the DESIGN.md
+// "Live serving loop" section for the drain and deadline semantics.
+
+// Server is a live query server (admission queue -> windowed batches ->
+// engine -> per-query tickets). Submit/SubmitTimeout admit queries, Shutdown
+// stops admission, Close drains everything admitted and joins the server's
+// goroutines.
+type Server = serve.Server
+
+// ServeConfig parameterizes a Server: method, batch size cap, window
+// duration, admission-queue capacity, deadlines clock, pool, telemetry.
+type ServeConfig = serve.Config
+
+// QueryTicket is the completion handle of one submitted query: Wait (or
+// Done + Query/values) yields the query's full per-vertex result vector or
+// a typed error.
+type QueryTicket = serve.Ticket
+
+// ServeClock is the server's injectable time source; NewFakeServeClock
+// builds the deterministic test clock that drives window expiry and
+// deadline misses without wall-clock sleeps.
+type ServeClock = serve.Clock
+
+// NewFakeServeClock returns a manually advanced clock for deterministic
+// serving tests (see serve.FakeClock: Advance, BlockUntil).
+func NewFakeServeClock(start time.Time) *serve.FakeClock {
+	return serve.NewFakeClock(start)
+}
+
+// Typed serving errors, re-exported for errors.Is dispatch.
+var (
+	// ErrQueueFull is the admission backpressure rejection.
+	ErrQueueFull = serve.ErrQueueFull
+	// ErrServerClosed rejects submissions after Shutdown/Close began.
+	ErrServerClosed = serve.ErrClosed
+	// ErrQueryDeadline completes a ticket whose deadline expired while it
+	// was still queued.
+	ErrQueryDeadline = serve.ErrDeadline
+)
+
+// Serve starts a live query server on g. The zero config serves full-Glign
+// batches of 64 on a 5ms window with a 1024-query admission bound.
+func Serve(g *Graph, cfg ServeConfig) (*Server, error) {
+	return serve.New(g, cfg)
+}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFakeClockAdvanceFiresInDeadlineOrder(t *testing.T) {
+	clk := NewFakeClock(time.Unix(100, 0))
+	t1 := clk.NewTimer(30 * time.Millisecond)
+	t2 := clk.NewTimer(10 * time.Millisecond)
+	t3 := clk.NewTimer(90 * time.Millisecond)
+
+	clk.Advance(40 * time.Millisecond)
+	// t2 (earlier deadline) and t1 fired; t3 still armed.
+	got2 := <-t2.C()
+	got1 := <-t1.C()
+	if !got2.Before(got1) {
+		t.Errorf("fire times out of order: t2=%v t1=%v", got2, got1)
+	}
+	select {
+	case <-t3.C():
+		t.Error("t3 fired before its deadline")
+	default:
+	}
+	if clk.Armed() != 1 {
+		t.Errorf("armed = %d, want 1", clk.Armed())
+	}
+	clk.Advance(50 * time.Millisecond)
+	<-t3.C()
+	if got := clk.Now(); !got.Equal(time.Unix(100, 0).Add(90 * time.Millisecond)) {
+		t.Errorf("now = %v after both advances", got)
+	}
+}
+
+func TestFakeClockStop(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	tm := clk.NewTimer(time.Second)
+	if !tm.Stop() {
+		t.Error("Stop on an armed timer = false")
+	}
+	if tm.Stop() {
+		t.Error("second Stop = true")
+	}
+	clk.Advance(2 * time.Second)
+	select {
+	case <-tm.C():
+		t.Error("stopped timer fired")
+	default:
+	}
+	// A non-positive duration fires immediately and is never armed.
+	im := clk.NewTimer(0)
+	<-im.C()
+	if im.Stop() {
+		t.Error("Stop on an immediate timer = true")
+	}
+}
+
+func TestFakeClockBlockUntil(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	released := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		clk.BlockUntil(2)
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("BlockUntil(2) returned with no timers armed")
+	default:
+	}
+	clk.NewTimer(time.Second)
+	clk.NewTimer(2 * time.Second)
+	<-released
+	wg.Wait()
+}
+
+func TestRealClockBasics(t *testing.T) {
+	clk := RealClock()
+	if clk.Now().IsZero() {
+		t.Error("real clock reads zero time")
+	}
+	tm := clk.NewTimer(time.Hour)
+	if !tm.Stop() {
+		t.Error("Stop on a fresh real timer = false")
+	}
+}

@@ -1,0 +1,21 @@
+// Package serve is the live query-serving loop: a long-lived Server accepts
+// vertex-specific queries onto a bounded admission queue, forms evaluation
+// batches with a time-and-size window (size cap |B|, window timer), executes
+// each batch on a configurable core engine over the shared work-stealing
+// pool, and completes per-query tickets with the result vectors. It is the
+// online counterpart of internal/systems, which replays pre-materialized
+// buffers offline.
+//
+// Robustness semantics: admission is bounded (Submit returns ErrQueueFull
+// when the admitted-but-undispatched population reaches the configured
+// capacity), queued queries honor per-query deadlines and context
+// cancellation (checked at batch-formation time), and Shutdown/Close stop
+// admission immediately while draining everything already admitted —
+// in-flight batches finish and queued queries are batched and executed, so
+// an admitted query always gets an answer.
+//
+// Every time source flows through the Clock interface, so the test harness
+// drives window expiry, deadline misses, and drain ordering deterministically
+// with a FakeClock (Advance + BlockUntil) — no wall-clock sleeps anywhere in
+// the serve test suite.
+package serve

@@ -1,0 +1,502 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/glign/glign/internal/align"
+	"github.com/glign/glign/internal/core"
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/par"
+	"github.com/glign/glign/internal/queries"
+	"github.com/glign/glign/internal/systems"
+	"github.com/glign/glign/internal/telemetry"
+)
+
+// Typed admission and lifecycle errors. All are sentinel values so callers
+// dispatch with errors.Is.
+var (
+	// ErrQueueFull is the backpressure rejection: the admitted-but-
+	// undispatched population reached Config.QueueCapacity.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrClosed rejects submissions arriving after Shutdown/Close began.
+	ErrClosed = errors.New("serve: server closed to new queries")
+	// ErrDeadline completes a ticket whose deadline expired while it was
+	// still queued (never mid-execution: once batched, a query runs to its
+	// fixed point and returns its values).
+	ErrDeadline = errors.New("serve: deadline expired before the query was batched")
+)
+
+// Config parameterizes a Server. The zero value serves full-Glign batches of
+// 64 on a 5ms window with a 1024-query admission bound on the wall clock.
+type Config struct {
+	// Method is the evaluation method (systems method names; default
+	// systems.Glign). It fixes the batching policy, the engine, and whether
+	// delayed-start alignment vectors are applied — identical semantics to
+	// an offline systems.Run of the same method.
+	Method string
+	// BatchSize is the size cap |B|: the batcher flushes as soon as this
+	// many queries are buffered, without waiting for the window (default
+	// 64).
+	BatchSize int
+	// Window is how long the batcher waits after the first buffered query
+	// before flushing a partial batch (default 5ms). The timer runs on
+	// Clock.
+	Window time.Duration
+	// QueueCapacity bounds the admitted-but-undispatched population (queued
+	// plus window-buffered queries); Submit rejects with ErrQueueFull at
+	// the bound (default 1024).
+	QueueCapacity int
+	// ReorderWindow is the affinity-batching reorder window B_w passed to
+	// the method's policy (<= 0: the whole flushed buffer).
+	ReorderWindow int
+	// Workers bounds intra-batch parallelism (<= 0: GOMAXPROCS); Pool is
+	// the work-stealing scheduler the engines run on (nil: shared default).
+	Workers int
+	Pool    *par.Pool
+	// Profile supplies closestHV for the aligned/affinity methods; built on
+	// demand when nil and the method needs it.
+	Profile *align.Profile
+	// DirectionOptimized enables push/pull hybrid iterations in the
+	// query-oblivious engine (requires/builds a profile for its reversed
+	// graph).
+	DirectionOptimized bool
+	// Telemetry, when non-nil, receives per-iteration engine records for
+	// every batch plus the serving section (Collector.ObserveServing).
+	Telemetry *telemetry.Collector
+	// Clock is the server's time source (nil: the wall clock). Tests inject
+	// a FakeClock to drive windows and deadlines deterministically.
+	Clock Clock
+	// Engine, when non-nil, overrides the method's engine — the hook the
+	// deterministic tests use to gate batch execution.
+	Engine core.Engine
+}
+
+// Ticket is the handle of one submitted query: it completes exactly once,
+// with either the query's full result vector or a typed error.
+type Ticket struct {
+	query    queries.Query
+	seq      int
+	ctx      context.Context
+	admitted time.Time
+	deadline time.Time // zero: none
+
+	done   chan struct{}
+	values []queries.Value
+	err    error
+}
+
+// Done is closed when the ticket has completed.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Wait blocks until the ticket completes or ctx is done, returning the
+// query's per-vertex result vector. The ticket keeps completing in the
+// background if Wait returns early on ctx.
+func (t *Ticket) Wait(ctx context.Context) ([]queries.Value, error) {
+	select {
+	case <-t.done:
+		return t.values, t.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Query returns the submitted query.
+func (t *Ticket) Query() queries.Query { return t.query }
+
+// flush triggers, attributed in the serving telemetry.
+type flushTrigger int
+
+const (
+	flushWindow flushTrigger = iota
+	flushSize
+	flushDrain
+)
+
+// formedBatch is one evaluation batch handed from the batcher to the
+// executor.
+type formedBatch struct {
+	tickets []*Ticket
+}
+
+// Server is the live query-serving loop. New starts two long-lived
+// goroutines — the batcher (admission queue -> windowed batches) and the
+// executor (batches -> engine -> ticket completion) — which Close joins
+// after draining everything admitted.
+type Server struct {
+	g    *graph.Graph
+	cfg  Config
+	plan systems.Plan
+	prof *align.Profile
+	clk  Clock
+	run  *telemetry.RunTrace
+
+	mu      sync.Mutex
+	queue   []*Ticket
+	pending int // admitted but not yet dispatched/resolved (bounded by QueueCapacity)
+	seq     int
+	closed  bool
+
+	wake    chan struct{}
+	batches chan *formedBatch
+	// wg joins the batcher and executor; Close waits on it — the
+	// persistent-pool lifetime the waitjoin analyzer models (Add before the
+	// launches here, Wait in Close).
+	wg      sync.WaitGroup
+	started time.Time
+
+	stats         serveCounters
+	admissionWait telemetry.Histogram
+	occupancy     telemetry.Histogram
+}
+
+// serveCounters are the server's monotone totals (see ServingMetrics for
+// field meanings).
+type serveCounters struct {
+	submitted, admitted          atomic.Int64
+	rejectedFull, rejectedClosed atomic.Int64
+	canceled, deadlineMisses     atomic.Int64
+	completed, batches           atomic.Int64
+	windowFlushes, sizeFlushes   atomic.Int64
+	drainFlushes                 atomic.Int64
+}
+
+// New validates cfg, resolves the method plan, and starts the server's
+// batcher and executor goroutines. Close (or Shutdown+Close) must be called
+// to join them.
+func New(g *graph.Graph, cfg Config) (*Server, error) {
+	if g == nil || g.NumVertices() == 0 {
+		return nil, fmt.Errorf("serve: empty graph")
+	}
+	if cfg.Method == "" {
+		cfg.Method = systems.Glign
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 5 * time.Millisecond
+	}
+	if cfg.QueueCapacity <= 0 {
+		cfg.QueueCapacity = 1024
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = RealClock()
+	}
+	prof := cfg.Profile
+	if prof == nil && (systems.NeedsProfile(cfg.Method) || cfg.DirectionOptimized) {
+		prof = align.NewProfile(g, align.DefaultHubCount, cfg.Workers)
+	}
+	run := cfg.Telemetry.StartRun("serve:"+cfg.Method, "")
+	plan, err := systems.PlanFor(cfg.Method, g, prof, systems.Config{
+		BatchSize: cfg.BatchSize,
+		Workers:   cfg.Workers,
+		Pool:      cfg.Pool,
+		Window:    cfg.ReorderWindow,
+	}, run)
+	if err != nil {
+		return nil, err
+	}
+	run.SetPolicy(plan.Policy.Name())
+	if cfg.Engine != nil {
+		plan.Engine = cfg.Engine
+	}
+	s := &Server{
+		g:       g,
+		cfg:     cfg,
+		plan:    plan,
+		prof:    prof,
+		clk:     cfg.Clock,
+		run:     run,
+		wake:    make(chan struct{}, 1),
+		batches: make(chan *formedBatch),
+		started: cfg.Clock.Now(),
+	}
+	s.wg.Add(2)
+	go s.batchLoop()
+	go s.execLoop()
+	return s, nil
+}
+
+// Submit admits one query with no deadline. See SubmitTimeout.
+func (s *Server) Submit(ctx context.Context, q queries.Query) (*Ticket, error) {
+	return s.SubmitTimeout(ctx, q, 0)
+}
+
+// SubmitTimeout admits one query onto the bounded queue and returns its
+// ticket. A positive timeout sets a deadline of now+timeout on the server's
+// clock: if the query is still queued when its next flush happens after the
+// deadline, it completes with ErrDeadline instead of executing. The context
+// covers the queued phase too — a ctx canceled before batching completes the
+// ticket with ctx.Err(). Rejections are immediate and typed: ErrQueueFull at
+// capacity, ErrClosed after shutdown began.
+func (s *Server) SubmitTimeout(ctx context.Context, q queries.Query, timeout time.Duration) (*Ticket, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.stats.submitted.Add(1)
+	if q.Kernel == nil {
+		return nil, fmt.Errorf("serve: query has no kernel")
+	}
+	if int(q.Source) >= s.g.NumVertices() {
+		return nil, fmt.Errorf("serve: source v%d out of range (n=%d)", q.Source, s.g.NumVertices())
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t := &Ticket{query: q, ctx: ctx, admitted: s.clk.Now(), done: make(chan struct{})}
+	if timeout > 0 {
+		t.deadline = t.admitted.Add(timeout)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.stats.rejectedClosed.Add(1)
+		return nil, ErrClosed
+	}
+	if s.pending >= s.cfg.QueueCapacity {
+		s.mu.Unlock()
+		s.stats.rejectedFull.Add(1)
+		return nil, ErrQueueFull
+	}
+	t.seq = s.seq
+	s.seq++
+	s.queue = append(s.queue, t)
+	s.pending++
+	s.mu.Unlock()
+	s.stats.admitted.Add(1)
+	s.signal()
+	return t, nil
+}
+
+// signal nudges the batcher (capacity-1 channel: a pending nudge already
+// covers any number of queued events, since the batcher drains the whole
+// queue per wake).
+func (s *Server) signal() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Shutdown stops admission immediately (subsequent Submits return ErrClosed)
+// and asks the batcher to drain: everything already admitted is still
+// batched, executed, and completed. Idempotent; returns without waiting.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.signal()
+}
+
+// Close shuts the server down and waits until the drain finishes: in-flight
+// batches complete, queued queries are flushed as final batches (expired or
+// canceled ones complete with their typed errors), and both server
+// goroutines join. Safe to call more than once.
+func (s *Server) Close() error {
+	s.Shutdown()
+	s.wg.Wait()
+	s.run.Finish(s.clk.Now().Sub(s.started))
+	s.observeServing()
+	return nil
+}
+
+// batchLoop is the batcher: it drains the admission queue into a window
+// buffer, flushes on the size cap immediately, arms the window timer when a
+// partial buffer starts waiting, flushes it on expiry, and on shutdown
+// flushes the remainder and hands the executor its last batch.
+func (s *Server) batchLoop() {
+	defer s.wg.Done()
+	defer close(s.batches)
+	var buf []*Ticket
+	var timer Timer
+	var timerC <-chan time.Time
+	stopTimer := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timerC = nil, nil
+		}
+	}
+	for {
+		select {
+		case <-s.wake:
+		case <-timerC:
+			stopTimer()
+			s.flush(buf, flushWindow)
+			buf = nil
+			continue
+		}
+		s.mu.Lock()
+		closed := s.closed
+		take := s.queue
+		s.queue = nil
+		s.mu.Unlock()
+		buf = append(buf, take...)
+		for len(buf) >= s.cfg.BatchSize {
+			s.flush(buf[:s.cfg.BatchSize], flushSize)
+			buf = append([]*Ticket(nil), buf[s.cfg.BatchSize:]...)
+		}
+		if closed {
+			if len(buf) > 0 {
+				s.flush(buf, flushDrain)
+			}
+			stopTimer()
+			return
+		}
+		if len(buf) > 0 {
+			if timerC == nil {
+				timer = s.clk.NewTimer(s.cfg.Window)
+				timerC = timer.C()
+			}
+		} else {
+			stopTimer()
+		}
+	}
+}
+
+// flush resolves canceled and deadline-expired tickets, then partitions the
+// survivors with the method's batching policy and hands each batch to the
+// executor (blocking — admission backpressure builds behind a busy
+// executor). Dispatched and resolved tickets leave the bounded admission
+// population.
+func (s *Server) flush(buf []*Ticket, trig flushTrigger) {
+	switch trig {
+	case flushWindow:
+		s.stats.windowFlushes.Add(1)
+	case flushSize:
+		s.stats.sizeFlushes.Add(1)
+	case flushDrain:
+		s.stats.drainFlushes.Add(1)
+	}
+	now := s.clk.Now()
+	live := make([]*Ticket, 0, len(buf))
+	for _, t := range buf {
+		switch {
+		case t.ctx.Err() != nil:
+			s.stats.canceled.Add(1)
+			s.decPending(1)
+			s.finish(t, nil, t.ctx.Err())
+		case !t.deadline.IsZero() && !now.Before(t.deadline):
+			s.stats.deadlineMisses.Add(1)
+			s.decPending(1)
+			s.finish(t, nil, ErrDeadline)
+		default:
+			s.admissionWait.Observe(now.Sub(t.admitted).Nanoseconds())
+			live = append(live, t)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	qs := make([]queries.Query, len(live))
+	for i, t := range live {
+		qs[i] = t.query
+	}
+	for _, idx := range s.plan.Policy.MakeBatches(qs, s.cfg.BatchSize) {
+		fb := &formedBatch{tickets: make([]*Ticket, len(idx))}
+		for i, bi := range idx {
+			fb.tickets[i] = live[bi]
+		}
+		s.batches <- fb
+		s.decPending(len(fb.tickets))
+	}
+}
+
+func (s *Server) decPending(n int) {
+	s.mu.Lock()
+	s.pending -= n
+	s.mu.Unlock()
+}
+
+// finish completes a ticket exactly once; the channel close publishes the
+// result fields to every waiter.
+func (s *Server) finish(t *Ticket, vals []queries.Value, err error) {
+	t.values, t.err = vals, err
+	close(t.done)
+}
+
+// execLoop is the executor: it evaluates formed batches in order until the
+// batcher closes the channel at the end of its drain.
+func (s *Server) execLoop() {
+	defer s.wg.Done()
+	for fb := range s.batches {
+		s.runBatch(fb)
+	}
+}
+
+// runBatch evaluates one batch on the plan's engine with the exact offline
+// semantics: alignment vectors when the method is aligned, direction
+// optimization when configured, per-iteration telemetry into the server's
+// run trace.
+func (s *Server) runBatch(fb *formedBatch) {
+	qs := make([]queries.Query, len(fb.tickets))
+	seqs := make([]int, len(fb.tickets))
+	for i, t := range fb.tickets {
+		qs[i] = t.query
+		seqs[i] = t.seq
+	}
+	opt := core.Options{Workers: s.cfg.Workers, Pool: s.cfg.Pool}
+	if s.plan.Aligned {
+		opt.Alignment = s.prof.AlignmentVector(qs)
+	}
+	if s.cfg.DirectionOptimized && s.prof != nil && s.plan.Engine.Name() == core.GlignIntra.Name() {
+		opt.ReverseGraph = s.prof.Rev
+	}
+	bt := s.run.StartBatch(s.plan.Engine.Name(), seqs, opt.Alignment)
+	opt.Telemetry = bt
+	start := s.clk.Now()
+	br, err := s.plan.Engine.Run(s.g, qs, opt)
+	bt.Finish(s.clk.Now().Sub(start))
+	s.stats.batches.Add(1)
+	s.occupancy.Observe(int64(len(qs)))
+	if err != nil {
+		for _, t := range fb.tickets {
+			s.finish(t, nil, fmt.Errorf("serve: batch failed: %w", err))
+		}
+	} else {
+		for i, t := range fb.tickets {
+			s.finish(t, br.QueryValues(i), nil)
+		}
+		s.stats.completed.Add(int64(len(qs)))
+	}
+	s.observeServing()
+}
+
+// Stats builds the current serving metrics snapshot.
+func (s *Server) Stats() *telemetry.ServingMetrics {
+	s.mu.Lock()
+	depth := s.pending
+	s.mu.Unlock()
+	return &telemetry.ServingMetrics{
+		Submitted:       s.stats.submitted.Load(),
+		Admitted:        s.stats.admitted.Load(),
+		RejectedFull:    s.stats.rejectedFull.Load(),
+		RejectedClosed:  s.stats.rejectedClosed.Load(),
+		Canceled:        s.stats.canceled.Load(),
+		DeadlineMisses:  s.stats.deadlineMisses.Load(),
+		Completed:       s.stats.completed.Load(),
+		Batches:         s.stats.batches.Load(),
+		WindowFlushes:   s.stats.windowFlushes.Load(),
+		SizeFlushes:     s.stats.sizeFlushes.Load(),
+		DrainFlushes:    s.stats.drainFlushes.Load(),
+		QueueDepth:      int64(depth),
+		AdmissionWaitNs: s.admissionWait.Snapshot(),
+		BatchOccupancy:  s.occupancy.Snapshot(),
+	}
+}
+
+// observeServing refreshes the collector's serving section (after every
+// batch and at Close).
+func (s *Server) observeServing() {
+	if s.cfg.Telemetry == nil {
+		return
+	}
+	s.cfg.Telemetry.ObserveServing(s.Stats())
+}
+
+// Method returns the server's evaluation method.
+func (s *Server) Method() string { return s.cfg.Method }

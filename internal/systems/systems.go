@@ -134,6 +134,33 @@ func planFor(method string, g *graph.Graph, prof *align.Profile, cfg Config, run
 	return methodPlan{}, fmt.Errorf("systems: unknown method %q", method)
 }
 
+// Plan is the exported (policy, engine, aligned) decomposition of a method,
+// used by the online serving loop (internal/serve), which forms batches from
+// a live admission queue instead of a pre-materialized buffer but must keep
+// each method's batching policy, engine, and alignment semantics identical
+// to an offline Run — the serve-vs-offline differential test pins exactly
+// that equivalence.
+type Plan struct {
+	// Policy partitions a buffered window of queries into batches.
+	Policy sched.Policy
+	// Engine evaluates one batch.
+	Engine core.Engine
+	// Aligned selects delayed-start injection (alignment vectors from the
+	// profile) for every batch.
+	Aligned bool
+}
+
+// PlanFor resolves the method's plan. The profile is required by the
+// affinity-batching and aligned methods (see NeedsProfile); run receives the
+// policy's batching decisions when non-nil.
+func PlanFor(method string, g *graph.Graph, prof *align.Profile, cfg Config, run *telemetry.RunTrace) (Plan, error) {
+	p, err := planFor(method, g, prof, cfg, run)
+	if err != nil {
+		return Plan{}, err
+	}
+	return Plan{Policy: p.policy, Engine: p.engine, Aligned: p.aligned}, nil
+}
+
 // NeedsProfile reports whether the method requires the alignment profile.
 func NeedsProfile(method string) bool {
 	switch method {

@@ -1,0 +1,54 @@
+package telemetry
+
+// ServingMetrics is the live-serving section of the metrics snapshot
+// (internal/serve): admission outcomes, flush triggers, and the admission
+// latency / batch occupancy distributions of one Server. Counters are
+// cumulative over the server's lifetime; QueueDepth is a gauge sampled at
+// observation time. The section is additive to glign.telemetry/v1 — the
+// schema version is unchanged.
+type ServingMetrics struct {
+	// Submitted counts Submit calls; Admitted the subset that entered the
+	// queue; RejectedFull / RejectedClosed the typed rejections.
+	Submitted      int64 `json:"submitted"`
+	Admitted       int64 `json:"admitted"`
+	RejectedFull   int64 `json:"rejected_full"`
+	RejectedClosed int64 `json:"rejected_closed"`
+	// Canceled counts queries whose context was canceled while queued;
+	// DeadlineMisses those whose deadline expired before batching. Both are
+	// resolved at batch-formation time, never mid-execution.
+	Canceled       int64 `json:"canceled"`
+	DeadlineMisses int64 `json:"deadline_misses"`
+	// Completed counts queries that received result vectors.
+	Completed int64 `json:"completed"`
+	// Batches counts executed batches; the three flush counters attribute
+	// every batch-formation event to its trigger (window timer expiry, size
+	// cap reached, or shutdown drain).
+	Batches       int64 `json:"batches"`
+	WindowFlushes int64 `json:"window_flushes"`
+	SizeFlushes   int64 `json:"size_flushes"`
+	DrainFlushes  int64 `json:"drain_flushes"`
+	// QueueDepth is the admitted-but-undispatched population at observation
+	// time (the quantity bounded by the server's queue capacity).
+	QueueDepth int64 `json:"queue_depth"`
+	// AdmissionWaitNs is the power-of-two histogram of per-query admission
+	// latency (admit -> batch formation), in nanoseconds on the server's
+	// clock; BatchOccupancy the histogram of executed batch sizes.
+	AdmissionWaitNs []HistBucket `json:"admission_wait_ns,omitempty"`
+	BatchOccupancy  []HistBucket `json:"batch_occupancy,omitempty"`
+}
+
+// ObserveServing installs sm as the collector's serving section (last
+// observation wins — a server observes after every batch and at Close, so
+// the snapshot tracks the live totals). Nil-safe on both sides: a nil
+// collector means telemetry is disabled, a nil sm means nothing to record.
+func (c *Collector) ObserveServing(sm *ServingMetrics) {
+	if c == nil {
+		return
+	}
+	if sm == nil {
+		return
+	}
+	c.mu.Lock()
+	c.serving = sm
+	c.mu.Unlock()
+}

@@ -15,7 +15,11 @@ type Metrics struct {
 	// pool (see Collector.ObservePool); omitted when no pool was observed.
 	// Additive field — the schema version is unchanged.
 	Scheduler *SchedulerMetrics `json:"scheduler,omitempty"`
-	Runs      []*RunMetrics     `json:"runs"`
+	// Serving carries the live-serving counters of the last observed server
+	// (see Collector.ObserveServing); omitted when no server was observed.
+	// Additive field — the schema version is unchanged.
+	Serving *ServingMetrics `json:"serving,omitempty"`
+	Runs    []*RunMetrics   `json:"runs"`
 }
 
 // RunMetrics is the snapshot of one method run (one RunTrace).
@@ -53,6 +57,7 @@ func (c *Collector) Snapshot() *Metrics {
 	c.mu.Lock()
 	runs := append([]*RunTrace(nil), c.runs...)
 	sched := c.sched
+	serving := c.serving
 	c.mu.Unlock()
 	m := &Metrics{
 		Schema:   SchemaVersion,
@@ -62,6 +67,7 @@ func (c *Collector) Snapshot() *Metrics {
 			"edges_per_iteration": c.EdgesPerIteration.Snapshot(),
 		},
 		Scheduler: sched,
+		Serving:   serving,
 		Runs:      make([]*RunMetrics, 0, len(runs)),
 	}
 	for _, r := range runs {

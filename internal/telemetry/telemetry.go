@@ -21,9 +21,10 @@ type Collector struct {
 	// EdgesPerIteration observes edges processed per global iteration.
 	EdgesPerIteration Histogram
 
-	mu    sync.Mutex
-	runs  []*RunTrace
-	sched *SchedulerMetrics
+	mu      sync.Mutex
+	runs    []*RunTrace
+	sched   *SchedulerMetrics
+	serving *ServingMetrics
 }
 
 // NewCollector returns an empty enabled collector.

@@ -319,3 +319,35 @@ func TestObservePoolPopulatesScheduler(t *testing.T) {
 	nilc.ObservePool(p)
 	c.ObservePool(nil)
 }
+
+func TestObserveServingPopulatesSection(t *testing.T) {
+	c := NewCollector()
+	if s := c.Snapshot(); s.Serving != nil {
+		t.Fatalf("serving section before any observation = %+v, want nil", s.Serving)
+	}
+	c.ObserveServing(&ServingMetrics{Submitted: 5, Admitted: 4, Batches: 2})
+	// Last observation wins: the server republishes its full totals on
+	// every batch completion.
+	c.ObserveServing(&ServingMetrics{Submitted: 7, Admitted: 6, Batches: 3, QueueDepth: 1})
+	s := c.Snapshot()
+	if s.Serving == nil {
+		t.Fatal("serving section missing after ObserveServing")
+	}
+	if s.Serving.Submitted != 7 || s.Serving.Batches != 3 || s.Serving.QueueDepth != 1 {
+		t.Errorf("serving = %+v, want the last observation", s.Serving)
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"serving"`) {
+		t.Errorf("JSON missing serving section: %s", raw)
+	}
+	// Nil-safety on both sides of the call.
+	var nilc *Collector
+	nilc.ObserveServing(&ServingMetrics{})
+	c.ObserveServing(nil)
+	if got := c.Snapshot().Serving.Submitted; got != 7 {
+		t.Errorf("nil observation overwrote the section: submitted = %d", got)
+	}
+}

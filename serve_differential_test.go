@@ -1,0 +1,108 @@
+package glign
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/glign/glign/internal/align"
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/par"
+	"github.com/glign/glign/internal/queries"
+	"github.com/glign/glign/internal/serve"
+	"github.com/glign/glign/internal/systems"
+)
+
+// Serve-vs-offline differential: streaming a seeded query sequence through
+// the live server must yield, query for query, the values an offline
+// systems.Run produces for the same buffer under the same method. The server
+// runs on a fake clock with an effectively infinite window, so every batch
+// forms by size flush or the Close drain — no wall-clock sleeps, no timing
+// dependence. Seeds follow the GLIGN_DIFF_SEED convention of
+// differential_test.go.
+
+const serveDiffStream = 10 // queries per streamed case (2.5 size batches of 4)
+
+func TestServeMatchesOffline(t *testing.T) {
+	pool := par.NewPool(4)
+	defer pool.Close()
+	g := graph.MustGenerate(graph.LJ, graph.Tiny)
+	prof := align.NewProfile(g, align.DefaultHubCount, 0)
+	base := diffBaseSeed(t)
+
+	for _, method := range []string{systems.Glign, systems.LigraC} {
+		for _, k := range []queries.Kernel{queries.BFS, queries.SSSP} {
+			name := fmt.Sprintf("%s/%s", method, k.Name())
+			seed := caseSeed(base, "serve/"+name)
+			t.Run(name, func(t *testing.T) {
+				srcs := sampleSources(seed, g.NumVertices(), serveDiffStream)
+				buffer := make([]queries.Query, len(srcs))
+				for i, s := range srcs {
+					buffer[i] = queries.Query{Kernel: k, Source: s}
+				}
+
+				// Offline ground truth: one systems.Run over the whole
+				// buffer with the serving batch size.
+				res, err := systems.Run(method, g, buffer, systems.Config{
+					BatchSize:  diffBatchSize,
+					Workers:    4,
+					Pool:       pool,
+					Profile:    prof,
+					KeepValues: true,
+				})
+				if err != nil {
+					t.Fatalf("offline run: %v [seed %d, GLIGN_DIFF_SEED=%d]", seed, base, err)
+				}
+
+				// Online: stream the same queries through a live server.
+				clk := serve.NewFakeClock(time.Unix(0, 0))
+				srv, err := serve.New(g, serve.Config{
+					Method:        method,
+					BatchSize:     diffBatchSize,
+					Window:        time.Hour, // never fires on the fake clock
+					QueueCapacity: 2 * serveDiffStream,
+					Workers:       4,
+					Pool:          pool,
+					Profile:       prof,
+					Clock:         clk,
+				})
+				if err != nil {
+					t.Fatalf("serve.New: %v [seed %d, GLIGN_DIFF_SEED=%d]", seed, base, err)
+				}
+				tickets := make([]*serve.Ticket, len(buffer))
+				for i, q := range buffer {
+					tk, err := srv.Submit(context.Background(), q)
+					if err != nil {
+						t.Fatalf("submit %d: %v [seed %d, GLIGN_DIFF_SEED=%d]", i, err, seed, base)
+					}
+					tickets[i] = tk
+				}
+				// Close drains the trailing partial batch and joins the
+				// server, so every ticket below has completed.
+				if err := srv.Close(); err != nil {
+					t.Fatalf("close: %v [seed %d, GLIGN_DIFF_SEED=%d]", err, seed, base)
+				}
+
+				for i, tk := range tickets {
+					got, err := tk.Wait(context.Background())
+					if err != nil {
+						t.Fatalf("query %d (source v%d): %v [seed %d, GLIGN_DIFF_SEED=%d]",
+							i, buffer[i].Source, err, seed, base)
+					}
+					want := res.Values[i]
+					if len(got) != len(want) {
+						t.Fatalf("query %d (source v%d): %d values, want %d [seed %d, GLIGN_DIFF_SEED=%d]",
+							i, buffer[i].Source, len(got), len(want), seed, base)
+					}
+					for v := range want {
+						if got[v] != want[v] {
+							t.Fatalf("query %d (source v%d) served != offline at vertex %d: %v != %v [seed %d, GLIGN_DIFF_SEED=%d]",
+								i, buffer[i].Source, v, got[v], want[v], seed, base)
+						}
+					}
+				}
+			})
+		}
+	}
+}

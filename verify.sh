@@ -33,13 +33,16 @@ go test ./...
 
 echo "== go test -race (concurrent packages) =="
 # Every package with worker-pool or CAS concurrency, including the
-# internal/core stress test (concurrent batches x GOMAXPROCS 1/2/8).
+# internal/core stress test (concurrent batches x GOMAXPROCS 1/2/8) and the
+# live serving loop's deterministic-clock suite (internal/serve).
 go test -race \
     ./internal/core/ \
     ./internal/engine/ \
     ./internal/frontier/ \
     ./internal/par/ \
     ./internal/queries/ \
+    ./internal/sched/ \
+    ./internal/serve/ \
     ./internal/telemetry/
 
 echo "verify: OK"

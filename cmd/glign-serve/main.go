@@ -1,15 +1,24 @@
 // Command glign-serve runs the live query-serving loop over HTTP: it loads
 // or generates a graph, starts a glign.Server (bounded admission, windowed
-// batching, engine execution on the shared pool), and answers JSON query
-// submissions until interrupted, then drains in-flight batches and exits.
+// batching, result cache with epoch invalidation, in-flight dedup, tiered
+// load-shedding, engine execution on the shared pool), and answers JSON
+// query submissions until interrupted, then drains in-flight batches and
+// exits. SERVING.md documents the serving contract end to end, including a
+// worked curl session against this command.
 //
 // Examples:
 //
 //	# serve full-Glign batches on a synthetic LiveJournal stand-in
 //	glign-serve -dataset LJ -size small -addr :8080
 //
-//	# submit a query and read the result
+//	# submit a query and read the result (repeat it to hit the cache)
 //	curl -s localhost:8080/query -d '{"kernel":"SSSP","source":42,"targets":[0,7]}'
+//
+//	# a high-priority query that may shed queued low-priority ones
+//	curl -s localhost:8080/query -d '{"kernel":"BFS","source":7,"priority":"high"}'
+//
+//	# invalidate cached results after a graph data change
+//	curl -s -X POST localhost:8080/epoch
 //
 //	# expvar + pprof observability endpoint alongside the query port
 //	glign-serve -dataset LJ -size small -addr :8080 -listen :6060
@@ -32,6 +41,7 @@ import (
 	glign "github.com/glign/glign"
 	"github.com/glign/glign/internal/graph"
 	"github.com/glign/glign/internal/queries"
+	"github.com/glign/glign/internal/serve"
 	"github.com/glign/glign/internal/telemetry"
 )
 
@@ -51,10 +61,12 @@ func run() error {
 		method    = flag.String("method", glign.MethodGlign, "evaluation method")
 		batch     = flag.Int("batch", 64, "batch size cap |B|")
 		window    = flag.Duration("window", 5*time.Millisecond, "batching window: max wait before flushing a partial batch")
-		queueCap  = flag.Int("queue", 1024, "admission queue capacity (submits beyond it are rejected)")
+		queueCap  = flag.Int("queue", 1024, "admission queue capacity (submits beyond it shed lower tiers or are rejected)")
+		cacheCap  = flag.Int("cache", 1024, "result cache capacity in entries (0 disables caching)")
+		admission = flag.String("admission", "", "admission ordering: fcfs, affinity, or empty to follow the method")
 		workers   = flag.Int("workers", 0, "worker goroutines per batch (0 = GOMAXPROCS)")
 		deadline  = flag.Duration("deadline", 0, "default per-query deadline (0 = none; requests can override with timeout_ms)")
-		addr      = flag.String("addr", ":8080", "query endpoint address (POST /query, GET /healthz, GET /stats)")
+		addr      = flag.String("addr", ":8080", "query endpoint address (POST /query, GET|POST /epoch, GET /healthz, GET /stats)")
 		listen    = flag.String("listen", "", "serve live telemetry (expvar at /debug/vars) and pprof (/debug/pprof) on this address, e.g. :6060")
 	)
 	flag.Parse()
@@ -76,13 +88,21 @@ func run() error {
 	}
 	fmt.Println(g)
 
+	// The flag's 0 means "no caching"; the library's 0 means "default
+	// capacity" with negative disabling, so translate here at the edge.
+	cacheCapacity := *cacheCap
+	if cacheCapacity == 0 {
+		cacheCapacity = -1
+	}
 	srv, err := glign.Serve(g, glign.ServeConfig{
-		Method:        *method,
-		BatchSize:     *batch,
-		Window:        *window,
-		QueueCapacity: *queueCap,
-		Workers:       *workers,
-		Telemetry:     tel,
+		Method:          *method,
+		BatchSize:       *batch,
+		Window:          *window,
+		QueueCapacity:   *queueCap,
+		CacheCapacity:   cacheCapacity,
+		AdmissionPolicy: *admission,
+		Workers:         *workers,
+		Telemetry:       tel,
 	})
 	if err != nil {
 		return err
@@ -90,6 +110,7 @@ func run() error {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", queryHandler(g, srv, *deadline))
+	mux.HandleFunc("/epoch", epochHandler(srv))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "ok %s\n", srv.Method())
 	})
@@ -101,8 +122,8 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Printf("%s method serving queries on http://%s/query (batch %d, window %v, queue %d)\n",
-		*method, *addr, *batch, *window, *queueCap)
+	fmt.Printf("%s method serving queries on http://%s/query (batch %d, window %v, queue %d, cache %d, admission %q)\n",
+		*method, *addr, *batch, *window, *queueCap, *cacheCap, *admission)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -128,6 +149,9 @@ func run() error {
 	fmt.Printf("served %d of %d admitted queries in %d batches (%d window / %d size / %d drain flushes; %d rejected full, %d deadline misses)\n",
 		st.Completed, st.Admitted, st.Batches, st.WindowFlushes, st.SizeFlushes, st.DrainFlushes,
 		st.RejectedFull, st.DeadlineMisses)
+	fmt.Printf("traffic shaping: %d cache hits / %d misses (%d invalidated, %d evicted), %d coalesced, %d reordered, %d shed, epoch %d\n",
+		st.CacheHits, st.CacheMisses, st.CacheInvalidations, st.CacheEvictions,
+		st.DedupCoalesced, st.AdmissionReorders, st.Shed, st.Epoch)
 	return nil
 }
 
@@ -136,15 +160,18 @@ type queryRequest struct {
 	Kernel    string           `json:"kernel"`
 	Source    uint32           `json:"source"`
 	TimeoutMS int64            `json:"timeout_ms,omitempty"`
+	Priority  string           `json:"priority,omitempty"` // low | normal | high (default normal)
 	Targets   []graph.VertexID `json:"targets,omitempty"`
 }
 
-// queryResponse is the reply: the reach count always, plus the value at each
-// requested target (null when the target was not reached).
+// queryResponse is the reply: the reach count and the data epoch the result
+// was computed at always, plus the value at each requested target (null when
+// the target was not reached).
 type queryResponse struct {
 	Kernel  string              `json:"kernel"`
 	Source  graph.VertexID      `json:"source"`
 	Reached int                 `json:"reached"`
+	Epoch   int64               `json:"epoch"`
 	Values  map[string]*float64 `json:"values,omitempty"`
 }
 
@@ -168,12 +195,17 @@ func queryHandler(g *glign.Graph, srv *glign.Server, defaultDeadline time.Durati
 			http.Error(w, fmt.Sprintf("source %d out of range (n=%d)", req.Source, g.NumVertices()), http.StatusBadRequest)
 			return
 		}
+		tier, err := serve.TierByName(req.Priority)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
 		timeout := defaultDeadline
 		if req.TimeoutMS > 0 {
 			timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 		}
 		q := glign.Query{Kernel: k, Source: graph.VertexID(req.Source)}
-		ticket, err := srv.SubmitTimeout(r.Context(), q, timeout)
+		ticket, err := srv.SubmitWith(r.Context(), q, glign.SubmitOptions{Timeout: timeout, Tier: tier})
 		if err != nil {
 			http.Error(w, err.Error(), rejectStatus(err))
 			return
@@ -183,7 +215,7 @@ func queryHandler(g *glign.Graph, srv *glign.Server, defaultDeadline time.Durati
 			http.Error(w, err.Error(), rejectStatus(err))
 			return
 		}
-		resp := queryResponse{Kernel: req.Kernel, Source: q.Source, Reached: reached(k, vals)}
+		resp := queryResponse{Kernel: req.Kernel, Source: q.Source, Reached: reached(k, vals), Epoch: ticket.ResultEpoch()}
 		if len(req.Targets) > 0 {
 			resp.Values = make(map[string]*float64, len(req.Targets))
 			for _, tgt := range req.Targets {
@@ -201,10 +233,30 @@ func queryHandler(g *glign.Graph, srv *glign.Server, defaultDeadline time.Durati
 	}
 }
 
+// epochHandler reads (GET) or bumps (POST) the server's data epoch. Bumping
+// is the cache-invalidation hook for external graph data changes: every
+// result cached at an older epoch stops being served immediately.
+func epochHandler(srv *glign.Server) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var epoch int64
+		switch r.Method {
+		case http.MethodGet:
+			epoch = srv.Epoch()
+		case http.MethodPost:
+			epoch = srv.BumpEpoch()
+		default:
+			http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]int64{"epoch": epoch})
+	}
+}
+
 // rejectStatus maps the server's typed errors onto HTTP status codes.
 func rejectStatus(err error) int {
 	switch {
-	case errors.Is(err, glign.ErrQueueFull):
+	case errors.Is(err, glign.ErrQueueFull), errors.Is(err, glign.ErrQueryShed):
 		return http.StatusTooManyRequests
 	case errors.Is(err, glign.ErrServerClosed):
 		return http.StatusServiceUnavailable

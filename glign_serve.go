@@ -10,23 +10,55 @@ import (
 // a time onto a bounded queue, batches them with a time-and-size window
 // under the configured method's policy, and executes the batches on the
 // shared work-stealing pool — the online counterpart of Runtime.Run, which
-// evaluates a pre-materialized buffer. See internal/serve and the DESIGN.md
-// "Live serving loop" section for the drain and deadline semantics.
+// evaluates a pre-materialized buffer. The server is also a traffic-shaping
+// front end: an epoch-invalidated result cache, in-flight dedup of identical
+// queries, affinity-aware admission ordering, and tiered load-shedding.
+// SERVING.md is the full contract (admission state machine, cache epoch
+// semantics, dedup fan-out guarantees, tier/shed policy, telemetry ledger).
 
 // Server is a live query server (admission queue -> windowed batches ->
-// engine -> per-query tickets). Submit/SubmitTimeout admit queries, Shutdown
-// stops admission, Close drains everything admitted and joins the server's
-// goroutines.
+// engine -> per-query tickets). Submit/SubmitTimeout/SubmitWith admit
+// queries, BumpEpoch invalidates cached results after a data change,
+// Shutdown stops admission, Close drains everything admitted and joins the
+// server's goroutines.
 type Server = serve.Server
 
 // ServeConfig parameterizes a Server: method, batch size cap, window
-// duration, admission-queue capacity, deadlines clock, pool, telemetry.
+// duration, admission-queue capacity and per-tier bounds, result-cache
+// capacity, admission policy, deadlines clock, pool, telemetry.
 type ServeConfig = serve.Config
 
 // QueryTicket is the completion handle of one submitted query: Wait (or
 // Done + Query/values) yields the query's full per-vertex result vector or
-// a typed error.
+// a typed error; ResultEpoch reports the data epoch the values were
+// computed at.
 type QueryTicket = serve.Ticket
+
+// SubmitOptions carries per-query submission knobs (deadline, priority
+// tier) for Server.SubmitWith.
+type SubmitOptions = serve.SubmitOptions
+
+// QueryTier is a query's admission priority class. Under overload the
+// server sheds queued lower-tier queries to admit higher ones
+// (shed-low-first; see SERVING.md).
+type QueryTier = serve.Tier
+
+// The three priority tiers, lowest first. TierNormal is the zero value and
+// the default for submissions that don't set a tier.
+const (
+	TierLow    = serve.TierLow
+	TierNormal = serve.TierNormal
+	TierHigh   = serve.TierHigh
+)
+
+// Admission orderings for ServeConfig.AdmissionPolicy: FCFS dispatches the
+// pending queue in arrival order, Affinity ranks it by estimated
+// heavy-iteration arrival (closestHV). The default (empty) follows the
+// method.
+const (
+	AdmissionFCFS     = serve.AdmissionFCFS
+	AdmissionAffinity = serve.AdmissionAffinity
+)
 
 // ServeClock is the server's injectable time source; NewFakeServeClock
 // builds the deterministic test clock that drives window expiry and
@@ -48,10 +80,15 @@ var (
 	// ErrQueryDeadline completes a ticket whose deadline expired while it
 	// was still queued.
 	ErrQueryDeadline = serve.ErrDeadline
+	// ErrQueryShed completes a queued ticket sacrificed for a
+	// higher-priority arrival under overload.
+	ErrQueryShed = serve.ErrShed
 )
 
 // Serve starts a live query server on g. The zero config serves full-Glign
-// batches of 64 on a 5ms window with a 1024-query admission bound.
+// batches of 64 on a 5ms window with a 1024-query admission bound, a
+// 1024-entry result cache, in-flight dedup, and the method's own admission
+// ordering.
 func Serve(g *Graph, cfg ServeConfig) (*Server, error) {
 	return serve.New(g, cfg)
 }

@@ -7,7 +7,11 @@
 //
 // Affinity-oriented batching ranks each window by the heavy-iteration
 // arrival estimate closestHV from internal/align, so queries whose deep
-// traversals peak at similar depths land in the same batch. Every window
+// traversals peak at similar depths land in the same batch. The same ranking
+// is exposed standalone as Affinity.Rank, which the serving layer
+// (internal/serve) uses for affinity-aware admission: ordering the live
+// pending queue before batch formation rather than a pre-materialized
+// buffer. Every window
 // decision (policy, window bounds, chosen order, arrival estimates) is
 // recorded as a telemetry BatchingDecision when a RunTrace is attached,
 // making batch composition auditable after the fact (see OBSERVABILITY.md).

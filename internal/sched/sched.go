@@ -69,27 +69,7 @@ func (a Affinity) MakeBatches(buffer []queries.Query, batchSize int) [][]int {
 		if hi > len(buffer) {
 			hi = len(buffer)
 		}
-		idx := identity(hi - lo)
-		for i := range idx {
-			idx[i] += lo
-		}
-		// Precompute the estimates once per window on the pool (each is a
-		// hop-table lookup, but windows can span thousands of queries), then
-		// sort against the table instead of re-deriving inside the comparator.
-		est := make([]int, hi-lo)
-		par.OrDefault(a.Pool).For(hi-lo, a.Workers, 0, func(elo, ehi int) {
-			for i := elo; i < ehi; i++ {
-				est[i] = a.Profile.ArrivalEstimate(buffer[lo+i].Source)
-			}
-		})
-		sort.SliceStable(idx, func(x, y int) bool {
-			ax := est[idx[x]-lo]
-			ay := est[idx[y]-lo]
-			if ax != ay {
-				return ax < ay
-			}
-			return idx[x] < idx[y]
-		})
+		idx, est := a.rankWindow(buffer, lo, hi)
 		if a.Telemetry != nil {
 			arrivals := make([]int, len(idx))
 			for i, bi := range idx {
@@ -106,6 +86,48 @@ func (a Affinity) MakeBatches(buffer []queries.Query, batchSize int) [][]int {
 		batches = append(batches, chunkIndices(idx, batchSize)...)
 	}
 	return batches
+}
+
+// rankWindow ranks buffer[lo:hi) by arrival estimate (stable on arrival
+// order for ties), returning absolute buffer indices in ranked order plus
+// the window-relative estimate table the ranking used.
+func (a Affinity) rankWindow(buffer []queries.Query, lo, hi int) (idx, est []int) {
+	idx = identity(hi - lo)
+	for i := range idx {
+		idx[i] += lo
+	}
+	// Precompute the estimates once per window on the pool (each is a
+	// hop-table lookup, but windows can span thousands of queries), then
+	// sort against the table instead of re-deriving inside the comparator.
+	est = make([]int, hi-lo)
+	par.OrDefault(a.Pool).For(hi-lo, a.Workers, 0, func(elo, ehi int) {
+		for i := elo; i < ehi; i++ {
+			est[i] = a.Profile.ArrivalEstimate(buffer[lo+i].Source)
+		}
+	})
+	sort.SliceStable(idx, func(x, y int) bool {
+		ax := est[idx[x]-lo]
+		ay := est[idx[y]-lo]
+		if ax != ay {
+			return ax < ay
+		}
+		return idx[x] < idx[y]
+	})
+	return idx, est
+}
+
+// Rank orders the whole buffer by estimated heavy-iteration arrival time and
+// returns the ranked buffer indices (stable: arrival order breaks ties). It
+// is the per-window ranking MakeBatches applies, exposed over one unbounded
+// window so callers that maintain their own pending sets — the serving
+// loop's affinity-aware admission (internal/serve) — can order a live queue
+// with the exact comparator the offline batching policy uses.
+func (a Affinity) Rank(buffer []queries.Query) []int {
+	if len(buffer) <= 1 {
+		return identity(len(buffer))
+	}
+	idx, _ := a.rankWindow(buffer, 0, len(buffer))
+	return idx
 }
 
 func identity(n int) []int {

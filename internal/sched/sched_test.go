@@ -166,3 +166,42 @@ func TestQuickPoliciesPartition(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAffinityRankMatchesMakeBatches(t *testing.T) {
+	g := graph.MustGenerate(graph.LJ, graph.Tiny)
+	p := align.NewProfile(g, 4, 2)
+	buf := randomBuffer(g, 50, 7)
+	pol := Affinity{Profile: p}
+	idx := pol.Rank(buf)
+	// Rank is the whole-buffer window ranking: concatenating MakeBatches'
+	// batches (any batch size) must reproduce it exactly, so the serving
+	// loop's admission ordering and the offline policy can never disagree.
+	var flat []int
+	for _, b := range pol.MakeBatches(buf, 8) {
+		flat = append(flat, b...)
+	}
+	if len(idx) != len(flat) {
+		t.Fatalf("rank has %d indices, batches cover %d", len(idx), len(flat))
+	}
+	for i := range idx {
+		if idx[i] != flat[i] {
+			t.Fatalf("rank[%d] = %d, MakeBatches order has %d", i, idx[i], flat[i])
+		}
+	}
+	// Stability: equal arrival estimates keep arrival order.
+	for i := 1; i < len(idx); i++ {
+		a, b := idx[i-1], idx[i]
+		ea := p.ArrivalEstimate(buf[a].Source)
+		eb := p.ArrivalEstimate(buf[b].Source)
+		if ea > eb || (ea == eb && a > b) {
+			t.Fatalf("rank not stable-sorted at %d: (%d est %d) before (%d est %d)", i, a, ea, b, eb)
+		}
+	}
+	// Degenerate buffers rank as identity.
+	if got := pol.Rank(buf[:1]); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Rank of singleton = %v, want [0]", got)
+	}
+	if got := pol.Rank(nil); len(got) != 0 {
+		t.Fatalf("Rank of empty = %v, want empty", got)
+	}
+}

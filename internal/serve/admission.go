@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"github.com/glign/glign/internal/queries"
+	"github.com/glign/glign/internal/sched"
+)
+
+// Admission orderings for Config.AdmissionPolicy. The default (empty
+// string) follows the method: methods whose batching policy is
+// affinity-oriented rank their pending queue, FCFS methods keep arrival
+// order.
+const (
+	// AdmissionFCFS dispatches the pending queue in arrival order even for
+	// affinity methods (the policy still ranks within each flushed window).
+	AdmissionFCFS = "fcfs"
+	// AdmissionAffinity ranks the whole pending queue by estimated
+	// heavy-iteration arrival (closestHV) whenever it exceeds one batch, so
+	// affine queries land in the same evaluation batch instead of whichever
+	// batch their arrival position dictated. Forces a profile build when the
+	// method alone would not need one.
+	AdmissionAffinity = "affinity"
+)
+
+// rankPendingLocked reorders the server's pending queue in place with the
+// batching policy's closestHV ranking (sched.Affinity.Rank) and counts the
+// displaced queries into admission_reorders. Must be called with s.mu held;
+// the batcher invokes it exactly when the queue holds more than one batch,
+// which is the only time ordering changes batch composition (a queue of at
+// most one batch flushes together and the policy ranks within it anyway).
+//
+// Ranking is re-applied over the whole pending population on every
+// oversized drain, so a freshly arrived query with a closer affinity to the
+// forming batch can overtake older queries. SERVING.md documents the
+// fairness consequences (and the deadline/shed pressure valves that bound
+// them).
+func (s *Server) rankPendingLocked() {
+	qs := make([]queries.Query, len(s.queue))
+	for i, sl := range s.queue {
+		qs[i] = sl.query
+	}
+	idx := sched.Affinity{Profile: s.prof, Workers: s.cfg.Workers, Pool: s.cfg.Pool}.Rank(qs)
+	ranked := make([]*slot, len(idx))
+	displaced := 0
+	for i, bi := range idx {
+		if bi != i {
+			displaced++
+		}
+		ranked[i] = s.queue[bi]
+	}
+	s.queue = ranked
+	if displaced > 0 {
+		s.stats.admissionReorders.Add(int64(displaced))
+	}
+}

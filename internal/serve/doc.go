@@ -4,15 +4,35 @@
 // each batch on a configurable core engine over the shared work-stealing
 // pool, and completes per-query tickets with the result vectors. It is the
 // online counterpart of internal/systems, which replays pre-materialized
-// buffers offline.
+// buffers offline. SERVING.md is the full serving contract.
+//
+// On top of the batching loop the Server is a traffic-shaping front end:
+//
+//   - a source+kernel-keyed result cache with epoch-based invalidation —
+//     entries carry the data epoch they were computed at and are dropped on
+//     lookup when the epoch has moved (BumpEpoch is the mutation hook), so a
+//     repeated query is answered without touching the engine and a stale
+//     result is never served;
+//   - in-flight deduplication — identical pending queries coalesce onto one
+//     batch slot and the single execution fans its result out to every
+//     waiter;
+//   - affinity-aware admission — when the pending queue exceeds one batch,
+//     it is re-ranked with the batching policy's heavy-iteration-arrival
+//     estimate (sched.Affinity.Rank) instead of arrival order, so affine
+//     queries land in the same evaluation batch;
+//   - load-shedding with priority tiers — at capacity an arriving query
+//     sheds the newest queued query of a strictly lower tier (shed-low-first)
+//     instead of being rejected outright.
 //
 // Robustness semantics: admission is bounded (Submit returns ErrQueueFull
 // when the admitted-but-undispatched population reaches the configured
-// capacity), queued queries honor per-query deadlines and context
-// cancellation (checked at batch-formation time), and Shutdown/Close stop
-// admission immediately while draining everything already admitted —
-// in-flight batches finish and queued queries are batched and executed, so
-// an admitted query always gets an answer.
+// capacity and nothing lower-tier is sheddable), queued queries honor
+// per-query deadlines and context cancellation (checked per ticket at
+// batch-formation time, so one coalesced waiter's cancel never suppresses
+// the computation its peers are owed), and Shutdown/Close stop admission
+// immediately while draining everything already admitted — in-flight
+// batches finish and queued queries are batched and executed, so an
+// admitted query always gets an answer.
 //
 // Every time source flows through the Clock interface, so the test harness
 // drives window expiry, deadline misses, and drain ordering deterministically

@@ -30,6 +30,35 @@ type ServingMetrics struct {
 	// QueueDepth is the admitted-but-undispatched population at observation
 	// time (the quantity bounded by the server's queue capacity).
 	QueueDepth int64 `json:"queue_depth"`
+	// Epoch is the server's current data epoch (a gauge; bumped by
+	// Server.BumpEpoch). Cached results are valid only for the epoch they
+	// were computed at.
+	Epoch int64 `json:"epoch"`
+	// CacheHits counts submissions answered from the source+kernel-keyed
+	// result cache without executing; CacheMisses those that consulted the
+	// cache and fell through to the queue (or to dedup coalescing).
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// CacheEvictions counts entries displaced by the LRU capacity bound;
+	// CacheInvalidations entries dropped at lookup because their epoch no
+	// longer matched the server's; CacheSize is the entry count at
+	// observation time (a gauge).
+	CacheEvictions     int64 `json:"cache_evictions"`
+	CacheInvalidations int64 `json:"cache_invalidations"`
+	CacheSize          int64 `json:"cache_size"`
+	// DedupCoalesced counts submissions that joined an already-pending
+	// identical query's slot instead of occupying their own (one executed
+	// batch slot fans its result out to every coalesced waiter).
+	DedupCoalesced int64 `json:"dedup_coalesced"`
+	// AdmissionReorders counts queries the affinity-aware admission ranking
+	// displaced from their arrival position when ordering the pending queue
+	// (counted per ranking pass).
+	AdmissionReorders int64 `json:"admission_reorders"`
+	// Shed counts queued queries sacrificed to admit a higher-priority
+	// arrival at capacity; ShedByTier breaks the total down by the victim's
+	// tier (index 0 low, 1 normal, 2 high).
+	Shed       int64   `json:"shed"`
+	ShedByTier []int64 `json:"shed_by_tier,omitempty"`
 	// AdmissionWaitNs is the power-of-two histogram of per-query admission
 	// latency (admit -> batch formation), in nanoseconds on the server's
 	// clock; BatchOccupancy the histogram of executed batch sizes.

@@ -351,3 +351,46 @@ func TestObserveServingPopulatesSection(t *testing.T) {
 		t.Errorf("nil observation overwrote the section: submitted = %d", got)
 	}
 }
+
+func TestServingSectionTrafficFieldsRoundTrip(t *testing.T) {
+	// The PR-6 traffic-shaping fields are additive to glign.telemetry/v1:
+	// they must survive a JSON round-trip under their documented names and
+	// leave the schema version untouched.
+	c := NewCollector()
+	c.ObserveServing(&ServingMetrics{
+		Submitted:          10,
+		Epoch:              3,
+		CacheHits:          4,
+		CacheMisses:        6,
+		CacheEvictions:     1,
+		CacheInvalidations: 2,
+		CacheSize:          5,
+		DedupCoalesced:     2,
+		AdmissionReorders:  7,
+		Shed:               1,
+		ShedByTier:         []int64{1, 0, 0},
+	})
+	raw, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		`"epoch":3`, `"cache_hits":4`, `"cache_misses":6`, `"cache_evictions":1`,
+		`"cache_invalidations":2`, `"cache_size":5`, `"dedup_coalesced":2`,
+		`"admission_reorders":7`, `"shed":1`, `"shed_by_tier":[1,0,0]`,
+		`"schema":"glign.telemetry/v1"`,
+	} {
+		if !strings.Contains(string(raw), field) {
+			t.Errorf("snapshot JSON missing %s: %s", field, raw)
+		}
+	}
+	var back Metrics
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	sm := back.Serving
+	if sm == nil || sm.CacheHits != 4 || sm.DedupCoalesced != 2 || sm.Epoch != 3 ||
+		len(sm.ShedByTier) != 3 || sm.ShedByTier[0] != 1 {
+		t.Errorf("round-tripped serving section = %+v", sm)
+	}
+}

@@ -37,6 +37,19 @@ func TestServeMatchesOffline(t *testing.T) {
 			seed := caseSeed(base, "serve/"+name)
 			t.Run(name, func(t *testing.T) {
 				srcs := sampleSources(seed, g.NumVertices(), serveDiffStream)
+				// Keep the stream duplicate-free: in-flight dedup would
+				// coalesce repeats into one admission slot, making the
+				// trailing-partial geometry (which the replay phase's window
+				// advance synchronizes on) seed-dependent. Dedup semantics
+				// have their own tests in internal/serve.
+				seen := make(map[graph.VertexID]bool, len(srcs))
+				for i, s := range srcs {
+					for seen[s] {
+						s = graph.VertexID((int(s) + 1) % g.NumVertices())
+					}
+					seen[s] = true
+					srcs[i] = s
+				}
 				buffer := make([]queries.Query, len(srcs))
 				for i, s := range srcs {
 					buffer[i] = queries.Query{Kernel: k, Source: s}
@@ -70,35 +83,70 @@ func TestServeMatchesOffline(t *testing.T) {
 				if err != nil {
 					t.Fatalf("serve.New: %v [seed %d, GLIGN_DIFF_SEED=%d]", seed, base, err)
 				}
-				tickets := make([]*serve.Ticket, len(buffer))
-				for i, q := range buffer {
-					tk, err := srv.Submit(context.Background(), q)
-					if err != nil {
-						t.Fatalf("submit %d: %v [seed %d, GLIGN_DIFF_SEED=%d]", i, err, seed, base)
+				streamPass := func(label string) []*serve.Ticket {
+					tickets := make([]*serve.Ticket, len(buffer))
+					for i, q := range buffer {
+						tk, err := srv.Submit(context.Background(), q)
+						if err != nil {
+							t.Fatalf("%s submit %d: %v [seed %d, GLIGN_DIFF_SEED=%d]", label, i, err, seed, base)
+						}
+						tickets[i] = tk
 					}
-					tickets[i] = tk
+					return tickets
 				}
-				// Close drains the trailing partial batch and joins the
-				// server, so every ticket below has completed.
+				checkPass := func(label string, tickets []*serve.Ticket) {
+					for i, tk := range tickets {
+						got, err := tk.Wait(context.Background())
+						if err != nil {
+							t.Fatalf("%s query %d (source v%d): %v [seed %d, GLIGN_DIFF_SEED=%d]",
+								label, i, buffer[i].Source, err, seed, base)
+						}
+						want := res.Values[i]
+						if len(got) != len(want) {
+							t.Fatalf("%s query %d (source v%d): %d values, want %d [seed %d, GLIGN_DIFF_SEED=%d]",
+								label, i, buffer[i].Source, len(got), len(want), seed, base)
+						}
+						for v := range want {
+							if got[v] != want[v] {
+								t.Fatalf("%s query %d (source v%d) served != offline at vertex %d: %v != %v [seed %d, GLIGN_DIFF_SEED=%d]",
+									label, i, buffer[i].Source, v, got[v], want[v], seed, base)
+							}
+						}
+					}
+				}
+
+				// Pass 1 — computed: 10 queries form two size batches plus a
+				// window-flushed trailer (the fake clock advances past the
+				// window once the timer is armed).
+				pass1 := streamPass("pass 1")
+				clk.BlockUntil(1)
+				clk.Advance(2 * time.Hour)
+				checkPass("pass 1", pass1)
+				batchesComputed := srv.Stats().Batches
+
+				// Pass 2 — cached replay: the identical stream must be served
+				// from the result cache byte-for-byte identical to the
+				// computed pass, with zero additional engine batches.
+				pass2 := streamPass("cached pass")
+				checkPass("cached pass", pass2)
 				if err := srv.Close(); err != nil {
 					t.Fatalf("close: %v [seed %d, GLIGN_DIFF_SEED=%d]", err, seed, base)
 				}
-
-				for i, tk := range tickets {
-					got, err := tk.Wait(context.Background())
-					if err != nil {
-						t.Fatalf("query %d (source v%d): %v [seed %d, GLIGN_DIFF_SEED=%d]",
-							i, buffer[i].Source, err, seed, base)
-					}
-					want := res.Values[i]
-					if len(got) != len(want) {
-						t.Fatalf("query %d (source v%d): %d values, want %d [seed %d, GLIGN_DIFF_SEED=%d]",
-							i, buffer[i].Source, len(got), len(want), seed, base)
-					}
-					for v := range want {
-						if got[v] != want[v] {
-							t.Fatalf("query %d (source v%d) served != offline at vertex %d: %v != %v [seed %d, GLIGN_DIFF_SEED=%d]",
-								i, buffer[i].Source, v, got[v], want[v], seed, base)
+				st := srv.Stats()
+				if st.Batches != batchesComputed {
+					t.Errorf("cached pass executed %d extra batches [seed %d, GLIGN_DIFF_SEED=%d]",
+						st.Batches-batchesComputed, seed, base)
+				}
+				if st.CacheHits == 0 {
+					t.Errorf("cached pass recorded no cache hits [seed %d, GLIGN_DIFF_SEED=%d]", seed, base)
+				}
+				for i, tk1 := range pass1 {
+					v1, _ := tk1.Wait(context.Background())
+					v2, _ := pass2[i].Wait(context.Background())
+					for v := range v1 {
+						if v1[v] != v2[v] {
+							t.Fatalf("cached query %d differs from computed at vertex %d: %v != %v [seed %d, GLIGN_DIFF_SEED=%d]",
+								i, v, v2[v], v1[v], seed, base)
 						}
 					}
 				}

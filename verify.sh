@@ -28,8 +28,26 @@ if ! diff -u results/lint-baseline.json /tmp/glign-lint-baseline.json; then
     exit 1
 fi
 
+echo "== doc links =="
+# Every SOMETHING.md referenced from the entry-point docs must exist —
+# stale pointers in README/ROADMAP are how contracts rot (SERVING.md,
+# OBSERVABILITY.md, LINTING.md, DESIGN.md, EXPERIMENTS.md, ...).
+for doc in $(grep -oh '[A-Z][A-Z_]*\.md' README.md ROADMAP.md | sort -u); do
+    if [ ! -f "$doc" ]; then
+        echo "verify: $doc is referenced from README.md/ROADMAP.md but does not exist" >&2
+        exit 1
+    fi
+done
+
 echo "== go test =="
 go test ./...
+
+echo "== serve e2e telemetry archive =="
+# Re-run the deterministic serving session with its telemetry snapshot
+# archived under results/ — the `serving` section SERVING.md §8 audits.
+GLIGN_SERVE_TELEMETRY_OUT="$PWD/results/serve-telemetry.json" \
+    go test ./internal/serve/ -run TestServeEndToEndSession -count=1
+test -s results/serve-telemetry.json
 
 echo "== go test -race (concurrent packages) =="
 # Every package with worker-pool or CAS concurrency, including the

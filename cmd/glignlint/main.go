@@ -4,16 +4,24 @@
 //
 // Analyzers (see LINTING.md for the invariant each one encodes):
 //
-//	atomicmix  — sync/atomic updates mixed with plain loads/stores
-//	             (interprocedural: wrapper-aware, whole-slice reads included)
-//	doclint    — every package carries a package comment
-//	hotalloc   — per-iteration allocations in traversal loops and par closures
-//	kernelmono — relaxation only through the approved CAS helpers; pure kernels
-//	             (alias-aware, call-graph purity summaries)
-//	nilrecv    — nil-receiver guards on the nil-safe telemetry types
-//	parcapture — par.For closures writing captured variables
-//	waitjoin   — goroutines in internal/par and internal/core join on every
-//	             exit path
+//	atomicmix   — sync/atomic updates mixed with plain loads/stores
+//	              (interprocedural: wrapper-aware, whole-slice reads included)
+//	cancelpath  — CancelFuncs, timers, and tickers created in serve/core/par
+//	              and mains are released on every exit path
+//	clockdet    — no direct time.Now/Sleep/After/... in packages declaring an
+//	              injectable Clock (the adapters implementing it are exempt)
+//	doclint     — every package carries a package comment
+//	hotalloc    — per-iteration allocations in traversal loops and par closures
+//	kernelmono  — relaxation only through the approved CAS helpers; pure kernels
+//	              (alias-aware, call-graph purity summaries)
+//	lockguard   — inferred mutex-guards-field discipline: unguarded accesses,
+//	              writes under RLock, double-locks, exit/panic paths that
+//	              leave a lock held
+//	nilrecv     — nil-receiver guards on the nil-safe telemetry types
+//	parcapture  — par.For closures writing captured variables
+//	staleignore — //lint:ignore directives matching no finding of the run
+//	waitjoin    — goroutines in internal/par, internal/core, internal/serve,
+//	              and internal/telemetry join on every exit path
 //
 // Usage:
 //

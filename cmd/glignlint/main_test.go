@@ -177,6 +177,81 @@ func TestWaitJoinServeFixture(t *testing.T) {
 	}
 }
 
+// TestLockGuardFixture pins guard inference end to end: the majority-vote
+// guard map, the "...Locked" suffix convention, call-site entry-lock
+// propagation (drain via flush), constructor freshness, and the defer
+// postlude (get) must all stay quiet, while the access moved outside the
+// mutex (peek), the double lock, the leaky exits, and the RLock write fire.
+func TestLockGuardFixture(t *testing.T) {
+	findings := runAnalyzer(t, "lockguard", "testdata/src/lockguard")
+	got := formatFindings(t, findings)
+	checkGolden(t, "lockguard", got)
+	if active, suppressed := counts(findings); active != 5 || suppressed != 1 {
+		t.Errorf("want exactly 5 active and 1 suppressed, got %d/%d:\n%s", active, suppressed, got)
+	}
+	// peek is get with the b.n access moved outside b.mu; the verdict must
+	// flip between the two.
+	if !strings.Contains(got, "fixture.go:49:") {
+		t.Errorf("missing the unguarded read in peek:\n%s", got)
+	}
+	if strings.Contains(got, "fixture.go:38:") {
+		t.Errorf("false positive on the defer-guarded read in get:\n%s", got)
+	}
+	for _, clean := range []string{"fixture.go:22:", "fixture.go:54:", "fixture.go:68:"} {
+		if strings.Contains(got, clean) {
+			t.Errorf("false positive at %s (fresh write / Locked suffix / call-site propagation):\n%s", clean, got)
+		}
+	}
+}
+
+func TestClockDetFixture(t *testing.T) {
+	findings := runAnalyzer(t, "clockdet", "testdata/src/clockdet")
+	got := formatFindings(t, findings)
+	checkGolden(t, "clockdet", got)
+	if active, suppressed := counts(findings); active != 3 || suppressed != 1 {
+		t.Errorf("want exactly 3 active and 1 suppressed, got %d/%d:\n%s", active, suppressed, got)
+	}
+	// The realClock/realTimer adapters are the injection boundary, and
+	// waitInjected consumes time only through the Clock: all exempt.
+	for _, clean := range []string{"fixture.go:25:", "fixture.go:26:", "fixture.go:30:", "fixture.go:31:", "fixture.go:39:"} {
+		if strings.Contains(got, clean) {
+			t.Errorf("false positive at %s (adapter or injected consumer):\n%s", clean, got)
+		}
+	}
+}
+
+func TestCancelPathFixture(t *testing.T) {
+	findings := runAnalyzer(t, "cancelpath", "testdata/src/cancelpath")
+	got := formatFindings(t, findings)
+	checkGolden(t, "cancelpath", got)
+	if active, suppressed := counts(findings); active != 3 || suppressed != 1 {
+		t.Errorf("want exactly 3 active and 1 suppressed, got %d/%d:\n%s", active, suppressed, got)
+	}
+	for _, clean := range []string{"deferCancel", "stopTimer", "handTimer"} {
+		if strings.Contains(got, clean) {
+			t.Errorf("false positive in %s:\n%s", clean, got)
+		}
+	}
+}
+
+// TestStaleIgnoreFixture runs waitjoin together with staleignore: the
+// directive matching a live finding stays quiet, the rotted directive is
+// reported, and a stale report can itself be suppressed.
+func TestStaleIgnoreFixture(t *testing.T) {
+	findings := runAnalyzer(t, "waitjoin,staleignore", "testdata/src/staleignore")
+	got := formatFindings(t, findings)
+	checkGolden(t, "staleignore", got)
+	if active, suppressed := counts(findings); active != 1 || suppressed != 2 {
+		t.Errorf("want exactly 1 active and 2 suppressed, got %d/%d:\n%s", active, suppressed, got)
+	}
+	if !strings.Contains(got, "fixture.go:20:") {
+		t.Errorf("missing the stale-directive report in joined:\n%s", got)
+	}
+	if strings.Contains(got, "fixture.go:13:") {
+		t.Errorf("false positive on the used directive in detach:\n%s", got)
+	}
+}
+
 func TestDocLintFixture(t *testing.T) {
 	findings := runAnalyzer(t, "doclint", "testdata/src/doclint/...")
 	got := formatFindings(t, findings)

@@ -1,0 +1,73 @@
+// Package serve (cancelpath fixture) exercises the release-on-every-path
+// check for context.CancelFuncs, timers, and tickers: deferred releases and
+// ownership transfers are clean, early returns and straight-line leaks are
+// findings, and a process-lifetime ticker carries a justified suppression.
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+func work(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// leakCancel skips cancel() on the early-return path: the derived context —
+// and WithCancel's slot in the parent's cancellation tree — is never freed.
+func leakCancel(parent context.Context, cond bool) error {
+	ctx, cancel := context.WithCancel(parent) // want: not called on every exit path
+	if cond {
+		return errors.New("early")
+	}
+	work(ctx)
+	cancel()
+	return nil
+}
+
+// deferCancel releases on every termination via the defer postlude: clean.
+func deferCancel(parent context.Context) {
+	ctx, cancel := context.WithTimeout(parent, time.Second)
+	defer cancel()
+	work(ctx)
+}
+
+// leakTicker never stops the ticker; its goroutine outlives the loop.
+func leakTicker(n int) {
+	tk := time.NewTicker(time.Second) // want: not stopped on every exit path
+	for i := 0; i < n; i++ {
+		<-tk.C
+	}
+}
+
+// stopTimer drains and stops through a defer: clean.
+func stopTimer(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	<-t.C
+}
+
+// handTimer transfers ownership to the caller, which must stop it: clean
+// here (the escape ends local responsibility).
+func handTimer(d time.Duration) *time.Timer {
+	t := time.NewTimer(d)
+	return t
+}
+
+// discardCancel throws the CancelFunc away; the context can never be
+// released.
+func discardCancel(parent context.Context) context.Context {
+	ctx, _ := context.WithCancel(parent) // want: CancelFunc discarded
+	return ctx
+}
+
+// heartbeat runs for the process lifetime by design; the ticker is never
+// stopped on purpose.
+func heartbeat(beats chan<- time.Time) {
+	//lint:ignore glignlint/cancelpath fixture: process-lifetime heartbeat ticker is never stopped by design
+	tk := time.NewTicker(time.Minute)
+	for t := range tk.C {
+		beats <- t
+	}
+}

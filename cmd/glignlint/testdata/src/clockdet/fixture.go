@@ -1,0 +1,70 @@
+// Package clockdet is the clockdet fixture: a package that declares an
+// injectable Clock interface (so it has promised deterministic time to its
+// tests) with the one legitimate adapter (realClock), clean injected-clock
+// consumers, and direct time-package calls that break the promise.
+package clockdet
+
+import "time"
+
+// Clock is the package's injectable time source.
+type Clock interface {
+	Now() time.Time
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is a one-shot timer armed by a Clock.
+type Timer interface {
+	C() <-chan time.Time
+	Stop() bool
+}
+
+// realClock is the wall-clock adapter: its direct time calls are the
+// injection boundary and are exempt.
+type realClock struct{}
+
+func (realClock) Now() time.Time                 { return time.Now() }
+func (realClock) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) C() <-chan time.Time { return t.t.C }
+func (t realTimer) Stop() bool          { return t.t.Stop() }
+
+// loop consumes time only through the injected clock: clean.
+type loop struct {
+	clk Clock
+}
+
+func (l *loop) waitInjected(d time.Duration) {
+	t := l.clk.NewTimer(d)
+	<-t.C()
+}
+
+// deadlineDirect reads the wall clock behind the injection's back.
+func (l *loop) deadlineDirect(d time.Duration) time.Time {
+	return time.Now().Add(d) // want: direct time.Now
+}
+
+// sleepDirect blocks on real time; a FakeClock test cannot advance it.
+func (l *loop) sleepDirect() {
+	time.Sleep(time.Millisecond) // want: direct time.Sleep
+}
+
+// pollDirect arms a real timer inside a closure; literals are not exempt.
+func (l *loop) pollDirect(stop chan struct{}) func() bool {
+	return func() bool {
+		select {
+		case <-time.After(time.Second): // want: direct time.After
+			return true
+		case <-stop:
+			return false
+		}
+	}
+}
+
+// startupDelay is a justified escape hatch: process start jitter happens
+// before any clock is injected.
+func startupDelay() {
+	//lint:ignore glignlint/clockdet fixture: pre-injection startup jitter is real-time by definition
+	time.Sleep(10 * time.Millisecond)
+}

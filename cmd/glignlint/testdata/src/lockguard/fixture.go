@@ -1,0 +1,137 @@
+// Package lockguard is the lockguard fixture: a mutex-guarded counter box
+// and an RWMutex-guarded table exercising guard inference (majority vote),
+// the "...Locked" suffix convention, call-site entry-lock propagation,
+// constructor freshness, double-locks, RLock writes, and exit/panic paths
+// that leave a lock held.
+package lockguard
+
+import "sync"
+
+// counterBox: mu guards n and hits — the majority of their accesses run
+// under b.mu, so inference locks the discipline in and the stragglers below
+// become findings.
+type counterBox struct {
+	mu   sync.Mutex
+	n    int
+	hits int
+}
+
+// newCounterBox writes fields on a fresh, unpublished object: no findings.
+func newCounterBox() *counterBox {
+	b := &counterBox{}
+	b.n = 1
+	return b
+}
+
+func (b *counterBox) incr() {
+	b.mu.Lock()
+	b.n++
+	b.hits++
+	b.mu.Unlock()
+}
+
+// get holds the lock via the defer postlude; the same b.n access that peek
+// performs outside the lock is clean here.
+func (b *counterBox) get() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+func (b *counterBox) reset() {
+	b.mu.Lock()
+	b.n = 0
+	b.mu.Unlock()
+}
+
+// peek is get with the access moved outside the mutex: the verdict flips.
+func (b *counterBox) peek() int {
+	return b.n // want: unguarded read
+}
+
+// bumpLocked relies on the suffix convention: entry-held, no finding.
+func (b *counterBox) bumpLocked() {
+	b.n++
+	b.hits++
+}
+
+// flush drives drain under the lock; drain itself has no suffix and no lock.
+func (b *counterBox) flush() {
+	b.mu.Lock()
+	b.drain()
+	b.mu.Unlock()
+}
+
+// drain is entry-held by call-site propagation: its only caller (flush)
+// holds b.mu at the call. No finding.
+func (b *counterBox) drain() {
+	b.n = 0
+	b.hits = 0
+}
+
+// doubleLock re-locks a held mutex: guaranteed self-deadlock.
+func (b *counterBox) doubleLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.mu.Lock() // want: double lock
+	b.n++
+	b.mu.Unlock()
+}
+
+// leakyExit returns with the mutex held on the early-return path.
+func (b *counterBox) leakyExit(flag bool) int {
+	b.mu.Lock() // want: may be held at return
+	if flag {
+		return 0
+	}
+	v := b.n
+	b.mu.Unlock()
+	return v
+}
+
+// panicky leaves the mutex held when the panic path unwinds.
+func (b *counterBox) panicky(v int) {
+	b.mu.Lock() // want: panic path leaves lock held
+	if v < 0 {
+		panic("negative count")
+	}
+	b.n = v
+	b.mu.Unlock()
+}
+
+// racyPeek documents an intentionally racy monitoring read.
+func (b *counterBox) racyPeek() int {
+	//lint:ignore glignlint/lockguard fixture: monitoring read tolerates staleness by design
+	return b.n
+}
+
+// table: rw guards m; reads take RLock, writes must take the full Lock.
+type table struct {
+	rw sync.RWMutex
+	m  map[string]int
+}
+
+func (t *table) load(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.m[k]
+}
+
+func (t *table) store(k string, v int) {
+	t.rw.Lock()
+	defer t.rw.Unlock()
+	t.m[k] = v
+}
+
+func (t *table) size() int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return len(t.m)
+}
+
+// badStore writes the map under the shared lock.
+func (t *table) badStore(k string, v int) {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	t.m[k] = v // want: write under RLock
+}

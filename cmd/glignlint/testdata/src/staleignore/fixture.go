@@ -1,0 +1,42 @@
+// Package par (staleignore fixture) exercises unused-suppression detection:
+// a directive that matches a live waitjoin finding is in use (clean), a
+// directive whose finding was fixed long ago is stale (reported), and a
+// stale directive kept deliberately is itself suppressed via
+// glignlint/staleignore.
+package par
+
+import "sync"
+
+// detach launches without a join; the directive below matches the live
+// finding, so it is used and staleignore stays quiet about it.
+func detach(work func()) {
+	//lint:ignore glignlint/waitjoin fixture: fire-and-forget launch kept to exercise directive matching
+	go work()
+}
+
+// joined was fixed to wait on its worker, but the directive rotted in place:
+// it matches nothing now and staleignore reports it.
+//
+//lint:ignore glignlint/waitjoin fixture: stale — the launch below was given a WaitGroup join
+func joined(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// alsoJoined keeps its retired directive on purpose (say, for an imminent
+// revert); the staleignore directive above it silences the stale report.
+func alsoJoined(work func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	//lint:ignore glignlint/staleignore fixture: retired suppression kept for an imminent revert
+	//lint:ignore glignlint/waitjoin fixture: stale on purpose — the launch is channel-joined
+	<-done
+}

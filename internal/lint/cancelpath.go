@@ -1,0 +1,329 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CancelPath enforces release-on-every-path for the cancellable resources
+// the serving and runtime tiers create: a context.CancelFunc obtained from
+// context.WithCancel/WithTimeout/WithDeadline must be called, and a
+// time.Timer/time.Ticker obtained from time.NewTimer/time.NewTicker must be
+// stopped, on every CFG path to the function's normal exit. An uncancelled
+// context pins its parent's cancellation tree (and a timer goroutine for
+// WithTimeout); an unstopped ticker leaks its goroutine outright.
+//
+// The check is a waitjoin-style forward may-analysis over the function CFG:
+// a creation joins the pending set; calling the cancel variable or Stop on
+// the timer variable clears it; whatever is still pending at the exit
+// block's entry — minus resources released by a deferred statement, which
+// runs on every termination — is reported at its creation site.
+//
+// Ownership transfer ends local responsibility: a resource that escapes the
+// function (returned, passed as an argument, stored, sent on a channel) or
+// is captured by a function literal is the new owner's to release, and the
+// analysis drops it. Reads through the variable (t.C, <-tk.C) keep it
+// pending — draining a timer is not stopping it. Assigning the CancelFunc
+// to the blank identifier is reported immediately: a context whose cancel is
+// discarded can never be released.
+func CancelPath() *Analyzer {
+	return &Analyzer{
+		Name: "cancelpath",
+		Doc: "flags context.CancelFuncs, time.Timers and time.Tickers created " +
+			"in internal/serve, internal/core, internal/par, or a main package " +
+			"that are not cancelled/stopped on every exit path",
+		Run: runCancelPath,
+	}
+}
+
+// cancelPathPkgs are the package names in scope: the serving front end, the
+// batch runtime, the parallel runtime, and command mains.
+var cancelPathPkgs = map[string]bool{"serve": true, "core": true, "par": true, "main": true}
+
+// cancelSite is one tracked creation: the call, the variable the resource is
+// bound to, and how it is released.
+type cancelSite struct {
+	call    *ast.CallExpr
+	v       *types.Var
+	what    string // "context.CancelFunc from context.WithCancel", "ticker from time.NewTicker", ...
+	verb    string // "called" / "stopped"
+	fix     string // suggested remediation
+	deferOK bool   // released by a deferred statement (every termination)
+}
+
+func runCancelPath(p *Pass) {
+	if !cancelPathPkgs[p.Pkg.Name] {
+		return
+	}
+	for _, fd := range funcDecls(p.Pkg) {
+		if fd.Body == nil {
+			continue
+		}
+		sites := collectCancelSites(p, fd.Body)
+		if len(sites) == 0 {
+			continue
+		}
+		cfg := p.Prog.CFG(fd.Body)
+		for _, d := range cfg.Defers {
+			markDeferRelease(p.Pkg.Info, d, sites)
+		}
+		problem := &cancelProblem{info: p.Pkg.Info, sites: sites}
+		res := ForwardFlow(cfg, problem)
+		pending, _ := res.In[cfg.Exit].(cancelSet)
+		var leaks []*cancelSite
+		for s := range pending {
+			if !s.deferOK {
+				leaks = append(leaks, s)
+			}
+		}
+		// Map order is random; report in source order.
+		for i := range leaks {
+			for j := i + 1; j < len(leaks); j++ {
+				if leaks[j].call.Pos() < leaks[i].call.Pos() {
+					leaks[i], leaks[j] = leaks[j], leaks[i]
+				}
+			}
+		}
+		for _, s := range leaks {
+			p.Reportf(s.call.Pos(), "%s is not %s on every exit path of %s; %s",
+				s.what, s.verb, funcDisplayName(fd), s.fix)
+		}
+	}
+}
+
+// collectCancelSites finds the tracked creations in body (outside function
+// literals), reporting discarded CancelFuncs immediately and dropping
+// resources captured by function literals (the closure owns them).
+func collectCancelSites(p *Pass, body *ast.BlockStmt) []*cancelSite {
+	info := p.Pkg.Info
+	var sites []*cancelSite
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var (
+			bind ast.Expr
+			what string
+			verb string
+			fix  string
+		)
+		if name, ok := isPkgCall(info, call, "context", "WithCancel", "WithTimeout", "WithDeadline"); ok && len(as.Lhs) == 2 {
+			bind = as.Lhs[1]
+			what = "the context.CancelFunc from context." + name
+			verb = "called"
+			fix = "defer cancel() at the creation site"
+		} else if name, ok := isPkgCall(info, call, "time", "NewTimer", "NewTicker"); ok && len(as.Lhs) == 1 {
+			bind = as.Lhs[0]
+			what = "the timer from time." + name
+			verb = "stopped"
+			fix = "defer Stop() at the creation site"
+			if name == "NewTicker" {
+				what = "the ticker from time." + name
+				fix = "a running ticker leaks its goroutine; defer Stop() at the creation site"
+			}
+		} else {
+			return true
+		}
+		id, ok := ast.Unparen(bind).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id.Name == "_" {
+			p.Reportf(call.Pos(), "%s is discarded; the resource can never be released", what)
+			return true
+		}
+		if v, ok := objectOf(info, id).(*types.Var); ok {
+			sites = append(sites, &cancelSite{call: call, v: v, what: what, verb: verb, fix: fix})
+		}
+		return true
+	})
+	if len(sites) == 0 {
+		return nil
+	}
+	// A variable referenced inside any function literal is co-owned by the
+	// closure; flow-sensitive reasoning about the enclosing body no longer
+	// covers its release, so those sites leave the analysis.
+	captured := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if v, ok := objectOf(info, id).(*types.Var); ok {
+					captured[v] = true
+				}
+			}
+			return true
+		})
+		return false
+	})
+	kept := sites[:0]
+	for _, s := range sites {
+		if !captured[s.v] {
+			kept = append(kept, s)
+		}
+	}
+	return kept
+}
+
+// markDeferRelease flags sites released by the deferred statement d — a
+// direct defer cancel() / defer t.Stop(), or either form inside a deferred
+// closure.
+func markDeferRelease(info *types.Info, d *ast.DeferStmt, sites []*cancelSite) {
+	mark := func(call *ast.CallExpr) {
+		for _, s := range sites {
+			if isReleaseCall(info, call, s.v) {
+				s.deferOK = true
+			}
+		}
+	}
+	mark(d.Call)
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if c, ok := n.(*ast.CallExpr); ok {
+				mark(c)
+			}
+			return true
+		})
+	}
+}
+
+// isReleaseCall reports whether call releases v: v() for CancelFuncs, or
+// v.Stop() for timers/tickers.
+func isReleaseCall(info *types.Info, call *ast.CallExpr, v *types.Var) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return objectOf(info, fun) == v
+	case *ast.SelectorExpr:
+		if fun.Sel.Name != "Stop" {
+			return false
+		}
+		id, ok := ast.Unparen(fun.X).(*ast.Ident)
+		return ok && objectOf(info, id) == v
+	}
+	return false
+}
+
+// cancelSet is the dataflow fact: creations whose release has not happened
+// on some path reaching the current point.
+type cancelSet map[*cancelSite]bool
+
+// cancelProblem is a forward may-analysis (merge = union): a creation is a
+// finding if ANY path reaches the exit without releasing it.
+type cancelProblem struct {
+	info  *types.Info
+	sites []*cancelSite
+}
+
+func (cp *cancelProblem) Entry() any { return cancelSet{} }
+
+func (cp *cancelProblem) Merge(a, b any) any {
+	fa, fb := a.(cancelSet), b.(cancelSet)
+	out := cancelSet{}
+	for s := range fa {
+		out[s] = true
+	}
+	for s := range fb {
+		out[s] = true
+	}
+	return out
+}
+
+func (cp *cancelProblem) Equal(a, b any) bool {
+	fa, fb := a.(cancelSet), b.(cancelSet)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for s := range fa {
+		if !fb[s] {
+			return false
+		}
+	}
+	return true
+}
+
+func (cp *cancelProblem) Transfer(n ast.Node, fact any) any {
+	switch x := n.(type) {
+	case *ast.DeferStmt:
+		return fact // postlude: handled by markDeferRelease at the exits
+	case *ast.RangeStmt:
+		// Only the range expression evaluates at the loop head; body
+		// statements have their own CFG nodes.
+		n = x.X
+	}
+	in := fact.(cancelSet)
+	out := cancelSet{}
+	for s := range in {
+		out[s] = true
+	}
+
+	// Benign mentions keep a resource pending: selector reads (t.C, tk.C —
+	// draining is not releasing) and assignment targets. Any other mention
+	// either releases it (cancel(), t.Stop()) or transfers ownership
+	// (argument, return, store, send, composite literal) — both clear it.
+	benign := map[*ast.Ident]bool{}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				// v.Stop is a release, not a read; leave it non-benign.
+				if x.Sel.Name != "Stop" {
+					benign[id] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					benign[id] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok || benign[id] {
+			return true
+		}
+		obj := objectOf(cp.info, id)
+		if obj == nil {
+			return true
+		}
+		for s := range out {
+			if types.Object(s.v) == obj {
+				delete(out, s)
+			}
+		}
+		return true
+	})
+
+	// Gen: the creation itself. Runs after the kill pass so the creation's
+	// own arguments cannot clear it.
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, s := range cp.sites {
+			if len(as.Rhs) == 1 && ast.Unparen(as.Rhs[0]) == s.call {
+				out[s] = true
+			}
+		}
+	}
+	return out
+}

@@ -255,3 +255,105 @@ func finish()  {}
 		t.Error("normal path does not reach Exit without panicking")
 	}
 }
+
+// TestCFGDeferPostludeEarlyReturn pins the postlude contract the lock
+// analyses rely on: defers are recorded in source order but NOT spliced into
+// the edge structure, so an early return's block jumps straight to Exit and
+// any cleanup the defers perform is invisible to the edges. Analyses must
+// consult Defers at the exits (deferReleasedKeys does) rather than expect a
+// cleanup block on the path.
+func TestCFGDeferPostludeEarlyReturn(t *testing.T) {
+	src := `package p
+
+func f(cond bool) int {
+	defer first()
+	defer second()
+	if cond {
+		return 0
+	}
+	work()
+	return 1
+}
+
+func first()  {}
+func second() {}
+func work()   {}
+`
+	c, fset := buildCFGFromSrc(t, src)
+
+	if len(c.Defers) != 2 {
+		t.Fatalf("Defers = %d, want 2", len(c.Defers))
+	}
+	l1 := fset.Position(c.Defers[0].Pos()).Line
+	l2 := fset.Position(c.Defers[1].Pos()).Line
+	if l1 >= l2 {
+		t.Errorf("Defers out of source order: lines %d, %d", l1, l2)
+	}
+
+	early := blockAt(t, c, fset, src, "return 0")
+	workBlk := blockAt(t, c, fset, src, "work()")
+
+	// The early return leaves without touching the rest of the body; the
+	// defers do not materialize as an intervening cleanup block.
+	if !canReachAvoiding(early, c.Exit, workBlk) {
+		t.Error("early return does not reach Exit directly")
+	}
+	if len(early.Succs) != 1 || early.Succs[0] != c.Exit {
+		t.Errorf("early-return block successors = %d, want exactly [Exit]", len(early.Succs))
+	}
+	// The pseudo-blocks carry no statements: postludes have nowhere to hide.
+	if len(c.Exit.Nodes) != 0 || len(c.Panic.Nodes) != 0 {
+		t.Error("Exit/Panic pseudo-blocks must hold no nodes")
+	}
+}
+
+// TestCFGDeferPanicEarlyReturnInteraction crosses all three features in one
+// body: a defer postlude, a panic edge, and an early return. Both
+// terminations stay reachable, each escape leaves from its own block, and
+// the conditional defer is still recorded (Defers is a source-order list of
+// every defer in the body, not just the unconditional prefix).
+func TestCFGDeferPanicEarlyReturnInteraction(t *testing.T) {
+	src := `package p
+
+func f(mode int) {
+	defer cleanup()
+	if mode == 0 {
+		return
+	}
+	if mode < 0 {
+		defer extra()
+		panic("negative mode")
+	}
+	finish()
+}
+
+func cleanup() {}
+func extra()   {}
+func finish()  {}
+`
+	c, fset := buildCFGFromSrc(t, src)
+
+	if len(c.Defers) != 2 {
+		t.Fatalf("Defers = %d, want 2 (conditional defers are recorded too)", len(c.Defers))
+	}
+
+	early := blockAt(t, c, fset, src, "return")
+	boom := blockAt(t, c, fset, src, `panic("negative mode")`)
+	finish := blockAt(t, c, fset, src, "finish()")
+
+	if !canReachAvoiding(early, c.Exit, boom, finish) {
+		t.Error("early return does not reach Exit without the panic or tail paths")
+	}
+	if canReachAvoiding(early, c.Panic) {
+		t.Error("early return must not reach the Panic pseudo-block")
+	}
+	if !canReachAvoiding(boom, c.Panic) {
+		t.Error("panic statement does not reach the Panic pseudo-block")
+	}
+	if canReachAvoiding(boom, c.Exit) {
+		t.Error("panic statement must not fall through to Exit")
+	}
+	if !canReachAvoiding(finish, c.Exit) {
+		t.Error("tail does not reach Exit")
+	}
+}

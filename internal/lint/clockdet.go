@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ClockDet protects the deterministic-clock harness contract: a package that
+// declares an injectable Clock interface (internal/serve) has promised that
+// all of its time flows through that interface, so a FakeClock can drive
+// window expiry, deadlines, and timers deterministically in tests. Any
+// direct call into the time package's clock surface (Now, Sleep, After,
+// Tick, timers, Since/Until — everything that reads or waits on the wall
+// clock) silently bypasses the injection and reintroduces real time into
+// code the tests believe is virtualized.
+//
+// The one legitimate home for direct wall-clock calls is the Clock
+// implementation itself: methods on a type that implements the package's
+// Clock interface (RealClock's Now/NewTimer) are the adapter boundary and
+// are exempt. Everything else in the package — including function literals —
+// is flagged. Packages without a Clock interface are out of scope; they have
+// made no determinism promise.
+func ClockDet() *Analyzer {
+	return &Analyzer{
+		Name: "clockdet",
+		Doc: "flags direct time.Now/Sleep/After/Tick/NewTimer/NewTicker/Since/" +
+			"Until calls in packages declaring an injectable Clock interface " +
+			"(outside the Clock implementations themselves)",
+		Run: runClockDet,
+	}
+}
+
+// clockDetFuncs is the time-package clock surface: every function that reads
+// the wall clock or schedules against it.
+var clockDetFuncs = []string{
+	"Now", "Sleep", "After", "AfterFunc", "Tick", "NewTimer", "NewTicker",
+	"Since", "Until",
+}
+
+func runClockDet(p *Pass) {
+	iface := injectableClock(p.Pkg)
+	if iface == nil {
+		return
+	}
+	info := p.Pkg.Info
+	for _, fd := range funcDecls(p.Pkg) {
+		if fd.Body == nil || implementsClock(p.Pkg, fd, iface) {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := isPkgCall(info, call, "time", clockDetFuncs...); ok {
+				p.Reportf(call.Pos(),
+					"direct time.%s in a package with an injectable Clock; "+
+						"thread the Clock instead so FakeClock tests stay deterministic", name)
+			}
+			return true
+		})
+	}
+}
+
+// injectableClock returns the package's injectable Clock contract: a
+// declared interface named Clock with a Now method. Nil when the package
+// declares none.
+func injectableClock(pkg *Package) *types.Interface {
+	obj := pkg.Types.Scope().Lookup("Clock")
+	if obj == nil {
+		return nil
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	iface, ok := tn.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < iface.NumMethods(); i++ {
+		if iface.Method(i).Name() == "Now" {
+			return iface
+		}
+	}
+	return nil
+}
+
+// implementsClock reports whether fd is a method on a type implementing the
+// Clock interface — the adapter layer allowed to touch the real clock.
+func implementsClock(pkg *Package, fd *ast.FuncDecl, iface *types.Interface) bool {
+	fn := funcOf(pkg, fd)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if types.Implements(rt, iface) {
+		return true
+	}
+	if _, isPtr := rt.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(rt), iface)
+	}
+	return false
+}

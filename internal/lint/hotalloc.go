@@ -33,7 +33,12 @@ func HotAlloc() *Analyzer {
 }
 
 // hotAllocPkgs are the package names whose loops are traversal hot paths.
-var hotAllocPkgs = map[string]bool{"engine": true, "core": true, "par": true}
+// serve and telemetry are in scope since PR 7: the serving loop's batch path
+// and the per-iteration telemetry hooks run once per batch per query and
+// feed the same engines.
+var hotAllocPkgs = map[string]bool{
+	"engine": true, "core": true, "par": true, "serve": true, "telemetry": true,
+}
 
 func runHotAlloc(p *Pass) {
 	if !hotAllocPkgs[p.Pkg.Name] {

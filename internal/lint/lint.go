@@ -88,12 +88,37 @@ type Analyzer struct {
 func All() []*Analyzer {
 	return []*Analyzer{
 		AtomicMix(),
+		CancelPath(),
+		ClockDet(),
 		DocLint(),
 		HotAlloc(),
 		KernelMono(),
+		LockGuard(),
 		NilRecv(),
 		ParCapture(),
+		StaleIgnore(),
 		WaitJoin(),
+	}
+}
+
+// StaleIgnore reports //lint:ignore directives that match no finding of the
+// run: a suppression whose finding was fixed (or whose analyzer scope moved)
+// is dead weight that silently re-authorizes the next real finding on that
+// line. The check runs in the driver after every other selected analyzer has
+// finished with the package — it needs their full finding set — so the Run
+// hook here is a no-op; lint.Run special-cases the name.
+//
+// A directive is stale when it names at least one analyzer selected for this
+// run and none of the named, selected analyzers produced a finding in its
+// range. Directives naming only unselected analyzers are skipped (a subset
+// run cannot judge them), and directives naming staleignore itself are never
+// reported (they exist to suppress this very check).
+func StaleIgnore() *Analyzer {
+	return &Analyzer{
+		Name: "staleignore",
+		Doc: "reports //lint:ignore directives that no longer match any " +
+			"finding of the selected analyzers (driver-level check)",
+		Run: func(*Pass) {},
 	}
 }
 
@@ -149,6 +174,10 @@ func Run(analyzers []*Analyzer, patterns []string) ([]Finding, error) {
 	}
 	prog := newProgram(l, analyzed)
 
+	runNames := map[string]bool{}
+	for _, a := range analyzers {
+		runNames[a.Name] = true
+	}
 	var findings []Finding
 	for _, pkg := range analyzed {
 		sup := collectSuppressions(pkg)
@@ -162,6 +191,9 @@ func Run(analyzers []*Analyzer, patterns []string) ([]Finding, error) {
 				}
 			}
 			findings = append(findings, raw...)
+		}
+		if runNames["staleignore"] {
+			findings = append(findings, staleFindings(pkg, sup, runNames)...)
 		}
 	}
 	for i := range findings {
@@ -202,16 +234,20 @@ func ActiveCount(findings []Finding) int {
 }
 
 // suppression is one parsed //lint:ignore directive: it silences the named
-// analyzers on the lines [fromLine, toLine] of file.
+// analyzers on the lines [fromLine, toLine] of file. used records whether the
+// directive matched at least one finding this run (the staleignore input).
 type suppression struct {
 	analyzers []string
 	file      string
 	fromLine  int
 	toLine    int
 	reason    string
+	line      int // the directive's own source line, for stale reports
+	col       int
+	used      bool
 }
 
-type suppressionSet []suppression
+type suppressionSet []*suppression
 
 // directiveRE matches "//lint:ignore glignlint/name[,glignlint/name...] reason".
 var directiveRE = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s+(.+?)\s*$`)
@@ -245,12 +281,14 @@ func collectSuppressions(pkg *Package) suppressionSet {
 					names = append(names, strings.TrimPrefix(n, "glignlint/"))
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				s := suppression{
+				s := &suppression{
 					analyzers: names,
 					file:      pos.Filename,
 					fromLine:  pos.Line,
 					toLine:    pos.Line + 1,
 					reason:    m[2],
+					line:      pos.Line,
+					col:       pos.Column,
 				}
 				if r, ok := funcRanges[cg]; ok {
 					s.fromLine, s.toLine = r[0], r[1]
@@ -269,9 +307,50 @@ func (ss suppressionSet) match(analyzer, file string, line int) (string, bool) {
 		}
 		for _, a := range s.analyzers {
 			if a == analyzer {
+				s.used = true
 				return s.reason, true
 			}
 		}
 	}
 	return "", false
+}
+
+// staleFindings implements the staleignore check over one package: every
+// directive that names a selected analyzer yet matched nothing is itself a
+// finding at the directive's position. A stale finding is suppressible like
+// any other (by a directive naming glignlint/staleignore); directives that
+// name staleignore are exempt from the check to keep the tower finite.
+func staleFindings(pkg *Package, sup suppressionSet, runNames map[string]bool) []Finding {
+	var raw []Finding
+	for _, s := range sup {
+		if s.used {
+			continue
+		}
+		covered, mentionsStale := false, false
+		for _, a := range s.analyzers {
+			if a == "staleignore" {
+				mentionsStale = true
+			} else if runNames[a] {
+				covered = true
+			}
+		}
+		if mentionsStale || !covered {
+			continue
+		}
+		raw = append(raw, Finding{
+			Analyzer: "staleignore",
+			File:     s.file,
+			Line:     s.line,
+			Col:      s.col,
+			Message: fmt.Sprintf("suppression for glignlint/%s matches no finding of this run; "+
+				"delete the stale directive", strings.Join(s.analyzers, ",glignlint/")),
+		})
+	}
+	for i := range raw {
+		if reason, ok := sup.match("staleignore", raw[i].File, raw[i].Line); ok {
+			raw[i].Suppressed = true
+			raw[i].SuppressReason = reason
+		}
+	}
+	return raw
 }

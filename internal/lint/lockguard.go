@@ -1,0 +1,595 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockGuard infers, per struct, which mutex guards which fields and enforces
+// the inferred discipline. Inference is a majority vote: for every field of a
+// struct that carries a sync.Mutex/sync.RWMutex field, the analyzer counts
+// how many of the field's accesses (module-wide, outside function literals)
+// execute while a mutex of the same struct is must-held on the same receiver
+// path ("s.mu held" guards "s.queue", "t.c.mu held" guards "t.c.timers").
+// A mutex that dominates a strict majority of a field's accesses becomes its
+// inferred guard, and the minority accesses are findings.
+//
+// The must-held state is a forward dataflow over the function CFG
+// (intersection merge: a lock counts only when every path holds it), with
+// `defer mu.Unlock()` handled as a postlude via the CFG's Defers list rather
+// than a mid-body release. Two conventions feed lock state across function
+// boundaries: methods whose name ends in "Locked" start with all receiver
+// mutexes held (the repo-wide contract for helpers documented "must be
+// called with mu held"), and a fixpoint over the static call graph
+// propagates must-held receiver locks from call sites into callee entry
+// facts — so an unsuffixed helper that is only ever invoked under the lock
+// needs no annotation. Constructor writes to provably fresh (unpublished)
+// objects are exempt via the freshness dataflow.
+//
+// On top of guard enforcement the analyzer reports three path properties:
+// writes under RLock (shared mode cannot order writes), Lock/RLock while the
+// same key is already must-held (guaranteed self-deadlock — Go mutexes are
+// not reentrant), and exit or panic paths that may leave an in-function
+// acquisition held (no Unlock on the path and no deferred release).
+//
+// Precision limits, by design: fields of self-synchronized types (own mutex,
+// atomics, channels) are exempt from inference; accesses through
+// non-canonical paths (indexing, calls) and inside function literals or
+// deferred statements are not counted; structs whose state is guarded by
+// *another* struct's mutex (serve's slot, guarded by the server's mu) have
+// no mutex field and are skipped. LINTING.md documents each trade-off.
+func LockGuard() *Analyzer {
+	return &Analyzer{
+		Name: "lockguard",
+		Doc: "infers which mutex guards each struct field (majority vote over " +
+			"must-locked accesses) and flags unguarded accesses, writes under " +
+			"RLock, double-locks, and exit/panic paths leaving a lock held",
+		Run: runLockGuard,
+	}
+}
+
+func runLockGuard(p *Pass) {
+	p.Prog.lockguardFor().report(p)
+}
+
+// lockguardFor returns the memoized module-wide lockguard fixpoint.
+func (pr *Program) lockguardFor() *lockAnalysis {
+	if pr.lockguardMemo == nil {
+		pr.lockguardMemo = buildLockAnalysis(pr)
+	}
+	return pr.lockguardMemo
+}
+
+// lockFlow bundles one function's held-locks fixpoint for point queries.
+type lockFlow struct {
+	cfg     *CFG
+	problem *lockProblem
+	res     *FlowResult
+}
+
+func (lf *lockFlow) at(n ast.Node) lockFact {
+	fact, _ := FactAt(lf.cfg, lf.problem, lf.res, n).(lockFact)
+	return fact
+}
+
+// lockAccess is one field access subject to guard inference.
+type lockAccess struct {
+	pkg   *Package
+	fd    *ast.FuncDecl
+	sel   *ast.SelectorExpr
+	field *types.Var
+	base  string // canonical path of the struct value ("s", "t.c")
+	owner string // struct type name, for messages
+	write bool
+	// mutexes are the owning struct's mutex fields; held is the subset
+	// must-held on this access's base path, with modes.
+	mutexes []*types.Var
+	held    lockFact
+}
+
+// lockFuncInfo is one function declaration in the module-wide analysis.
+type lockFuncInfo struct {
+	pkg *Package
+	fd  *ast.FuncDecl
+	fn  *types.Func
+}
+
+// lockAnalysis is the module-wide lockguard state: entry-lock facts per
+// function (suffix convention + call-site propagation fixpoint), per-function
+// flows, collected accesses, and the voted guard map.
+type lockAnalysis struct {
+	prog    *Program
+	fns     []lockFuncInfo
+	seeds   map[*types.Func]lockFact // "...Locked" suffix convention
+	entries map[*types.Func]lockFact // final entry-held facts
+	must    map[*ast.FuncDecl]*lockFlow
+	may     map[*ast.FuncDecl]*lockFlow
+
+	accesses []*lockAccess
+	guard    map[*types.Var]*types.Var // field → inferred guarding mutex
+	votes    map[*types.Var]int        // accesses held under the winning mutex
+	total    map[*types.Var]int        // all counted accesses of the field
+}
+
+func buildLockAnalysis(prog *Program) *lockAnalysis {
+	la := &lockAnalysis{
+		prog:    prog,
+		seeds:   map[*types.Func]lockFact{},
+		entries: map[*types.Func]lockFact{},
+		guard:   map[*types.Var]*types.Var{},
+		votes:   map[*types.Var]int{},
+		total:   map[*types.Var]int{},
+	}
+	for _, pkg := range prog.All {
+		for _, fd := range funcDecls(pkg) {
+			if fd.Body == nil {
+				continue
+			}
+			fn := funcOf(pkg, fd)
+			if fn == nil {
+				continue
+			}
+			la.fns = append(la.fns, lockFuncInfo{pkg: pkg, fd: fd, fn: fn})
+			if seed := suffixSeed(pkg, fd, fn); len(seed) > 0 {
+				la.seeds[fn] = seed
+				la.entries[fn] = seed
+			}
+		}
+	}
+
+	// Fixpoint: flows computed under the current entry facts discover locks
+	// must-held at call sites, which enlarge callee entry facts, which can
+	// only add held state — a monotonically increasing, terminating chain.
+	for {
+		la.must = map[*ast.FuncDecl]*lockFlow{}
+		for _, fi := range la.fns {
+			la.must[fi.fd] = la.flowFor(fi, false)
+		}
+		changed := false
+		for _, fi := range la.fns {
+			merged := unionLockFacts(la.seeds[fi.fn], la.siteEntry(fi))
+			if !sameLockFact(la.entries[fi.fn], merged) {
+				la.entries[fi.fn] = merged
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	la.may = map[*ast.FuncDecl]*lockFlow{}
+	for _, fi := range la.fns {
+		la.may[fi.fd] = la.flowFor(fi, true)
+	}
+
+	la.collectAccesses()
+	la.voteGuards()
+	return la
+}
+
+// suffixSeed returns the entry-held fact the "...Locked" naming convention
+// asserts: every mutex field of the receiver is write-held on entry.
+func suffixSeed(pkg *Package, fd *ast.FuncDecl, fn *types.Func) lockFact {
+	if !strings.HasSuffix(fd.Name.Name, "Locked") {
+		return nil
+	}
+	rn := recvIdentName(fd)
+	if rn == "" {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	seed := lockFact{}
+	for _, m := range mutexFields(sig.Recv().Type()) {
+		seed[lockKey{mutex: m, base: rn}] = lockW
+	}
+	return seed
+}
+
+// recvIdentName returns the receiver identifier of fd, or "".
+func recvIdentName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return ""
+	}
+	name := fd.Recv.List[0].Names[0].Name
+	if name == "_" {
+		return ""
+	}
+	return name
+}
+
+func (la *lockAnalysis) flowFor(fi lockFuncInfo, may bool) *lockFlow {
+	cfg := la.prog.CFG(fi.fd.Body)
+	problem := &lockProblem{info: fi.pkg.Info, entry: la.entries[fi.fn], may: may}
+	return &lockFlow{cfg: cfg, problem: problem, res: ForwardFlow(cfg, problem)}
+}
+
+// siteEntry derives the locks held at every static call site of fi's method,
+// translated onto the callee's receiver name — the intersection over all
+// sites. The derivation is refused (nil) when the caller set is incomplete
+// (method value escapes, calls from function literals or deferred
+// statements) or any receiver path is non-canonical.
+func (la *lockAnalysis) siteEntry(fi lockFuncInfo) lockFact {
+	if fi.fd.Recv == nil {
+		return nil
+	}
+	rn := recvIdentName(fi.fd)
+	if rn == "" {
+		return nil
+	}
+	sig, ok := fi.fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	ms := mutexFields(sig.Recv().Type())
+	if len(ms) == 0 {
+		return nil
+	}
+	if la.prog.Graph.FuncRefs[fi.fn] > 0 {
+		return nil
+	}
+	sites := la.prog.Graph.ByCallee[fi.fn]
+	if len(sites) == 0 {
+		return nil
+	}
+	var derived lockFact
+	first := true
+	for _, site := range sites {
+		if site.InLit {
+			return nil
+		}
+		callerFd := la.prog.Graph.DeclOf[site.Caller]
+		if callerFd == nil || callerFd.Body == nil {
+			return nil
+		}
+		flow := la.must[callerFd]
+		if flow == nil {
+			return nil
+		}
+		// Calls inside deferred statements run at termination; the facts at
+		// the defer's source position do not apply.
+		if inDefer(flow.cfg, site.Call) {
+			return nil
+		}
+		recvE := receiverExpr(site.Pkg.Info, site.Call)
+		if recvE == nil {
+			return nil
+		}
+		path := canonPath(recvE)
+		if path == "" {
+			return nil
+		}
+		fact := flow.at(site.Call)
+		if fact == nil {
+			continue // statically unreachable call site
+		}
+		held := lockFact{}
+		for _, m := range ms {
+			if mode := fact[lockKey{mutex: m, base: path}]; mode != lockNone {
+				held[lockKey{mutex: m, base: rn}] = mode
+			}
+		}
+		if first {
+			derived, first = held, false
+		} else {
+			derived = intersectLockFacts(derived, held)
+		}
+		if len(derived) == 0 {
+			return nil
+		}
+	}
+	return derived
+}
+
+// inDefer reports whether n sits inside one of the body's deferred statements.
+func inDefer(cfg *CFG, n ast.Node) bool {
+	for _, d := range cfg.Defers {
+		if d.Pos() <= n.Pos() && n.End() <= d.End() {
+			return true
+		}
+	}
+	return false
+}
+
+func unionLockFacts(a, b lockFact) lockFact {
+	out := lockFact{}
+	for k, m := range a {
+		out[k] = m
+	}
+	for k, m := range b {
+		if m > out[k] {
+			out[k] = m
+		}
+	}
+	return out
+}
+
+func intersectLockFacts(a, b lockFact) lockFact {
+	out := lockFact{}
+	for k, m := range a {
+		if mb := b[k]; mb != lockNone {
+			if mb < m {
+				m = mb
+			}
+			out[k] = m
+		}
+	}
+	return out
+}
+
+func sameLockFact(a, b lockFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, m := range a {
+		if b[k] != m {
+			return false
+		}
+	}
+	return true
+}
+
+// collectAccesses records every guard-relevant field access in the module:
+// selections on a struct that has mutex fields, outside function literals
+// and deferred statements, through a canonical path, excluding sync-typed
+// and self-synchronized fields and provably fresh (unpublished) receivers.
+func (la *lockAnalysis) collectAccesses() {
+	for _, fi := range la.fns {
+		flow := la.must[fi.fd]
+		info := fi.pkg.Info
+		writes := writeTargets(fi.fd.Body)
+		var fresh *freshAnalysis
+		ast.Inspect(fi.fd.Body, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncLit, *ast.DeferStmt:
+				return false
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			field, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[sel.X]
+			if !ok {
+				return true
+			}
+			ms := mutexFields(tv.Type)
+			if len(ms) == 0 {
+				return true
+			}
+			if isMutexType(field.Type()) || guardExemptType(field.Type()) {
+				return true
+			}
+			base := canonPath(sel.X)
+			if base == "" {
+				return true
+			}
+			// Constructor writes before publication: a provably fresh local
+			// cannot race, so its accesses carry no vote and no finding.
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				if v, isVar := objectOf(info, id).(*types.Var); isVar && !v.IsField() {
+					if fresh == nil {
+						fresh = la.prog.freshFor(fi.pkg, fi.fd)
+					}
+					if fact, _ := FactAt(fresh.cfg, fresh.problem, fresh.res, sel).(freshSet); fact != nil && fact[v] {
+						return true
+					}
+				}
+			}
+			fact := flow.at(sel)
+			if fact == nil {
+				return true // statically unreachable
+			}
+			held := lockFact{}
+			for _, m := range ms {
+				k := lockKey{mutex: m, base: base}
+				if mode := fact[k]; mode != lockNone {
+					held[k] = mode
+				}
+			}
+			la.accesses = append(la.accesses, &lockAccess{
+				pkg:     fi.pkg,
+				fd:      fi.fd,
+				sel:     sel,
+				field:   field,
+				base:    base,
+				owner:   namedTypeName(tv.Type),
+				write:   writes[sel],
+				mutexes: ms,
+				held:    held,
+			})
+			return true
+		})
+	}
+}
+
+// namedTypeName returns the name of t's named type behind pointers, or "".
+func namedTypeName(t types.Type) string {
+	if named, ok := derefType(t).(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// writeTargets marks the selector expressions written by assignments, IncDec
+// statements, and address-taking within body (outside function literals).
+func writeTargets(body ast.Node) map[ast.Node]bool {
+	out := map[ast.Node]bool{}
+	var mark func(e ast.Expr)
+	mark = func(e ast.Expr) {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.StarExpr:
+			mark(x.X)
+		case *ast.IndexExpr:
+			mark(x.X)
+		case *ast.SelectorExpr:
+			out[x] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, l := range x.Lhs {
+				mark(l)
+			}
+		case *ast.IncDecStmt:
+			mark(x.X)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				mark(x.X)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// voteGuards runs the majority vote: a mutex guards a field when it is
+// must-held on a strict majority of the field's counted accesses.
+func (la *lockAnalysis) voteGuards() {
+	perMutex := map[*types.Var]map[*types.Var]int{}
+	for _, a := range la.accesses {
+		la.total[a.field]++
+		for _, m := range a.mutexes {
+			if a.held[lockKey{mutex: m, base: a.base}] != lockNone {
+				if perMutex[a.field] == nil {
+					perMutex[a.field] = map[*types.Var]int{}
+				}
+				perMutex[a.field][m]++
+			}
+		}
+	}
+	for f, byMutex := range perMutex {
+		var best *types.Var
+		bestN := 0
+		for m, n := range byMutex {
+			if n*2 <= la.total[f] {
+				continue
+			}
+			// Nested locks can make two mutexes pass the bar; prefer the
+			// more frequent, then declaration order, deterministically.
+			if n > bestN || (n == bestN && best != nil && m.Pos() < best.Pos()) {
+				best, bestN = m, n
+			}
+		}
+		if best != nil {
+			la.guard[f] = best
+			la.votes[f] = bestN
+		}
+	}
+}
+
+// report emits the findings that land in pass's package.
+func (la *lockAnalysis) report(p *Pass) {
+	for _, a := range la.accesses {
+		if a.pkg != p.Pkg {
+			continue
+		}
+		g := la.guard[a.field]
+		if g == nil {
+			continue
+		}
+		mode := a.held[lockKey{mutex: g, base: a.base}]
+		switch {
+		case mode == lockNone:
+			verb := "read of"
+			if a.write {
+				verb = "write to"
+			}
+			p.Reportf(a.sel.Pos(),
+				"%s %s.%s without holding %s.%s, which guards it (must-held on %d of %d accesses)",
+				verb, a.owner, a.field.Name(), a.owner, g.Name(), la.votes[a.field], la.total[a.field])
+		case a.write && mode == lockR:
+			p.Reportf(a.sel.Pos(),
+				"write to %s.%s under RLock of %s.%s; writes require the exclusive Lock",
+				a.owner, a.field.Name(), a.owner, g.Name())
+		}
+	}
+	for _, fi := range la.fns {
+		if fi.pkg == p.Pkg {
+			la.reportPaths(p, fi)
+		}
+	}
+}
+
+// reportPaths emits the per-function path findings for fi: double-locks at
+// acquisition sites, and exit/panic paths that may leave a lock held.
+func (la *lockAnalysis) reportPaths(p *Pass, fi lockFuncInfo) {
+	mustFlow, mayFlow := la.must[fi.fd], la.may[fi.fd]
+	info := fi.pkg.Info
+	entry := la.entries[fi.fn]
+
+	firstAt := map[lockKey]token.Pos{}
+	ast.Inspect(fi.fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, op, ok := mutexOp(info, call)
+		if !ok || (op != "Lock" && op != "RLock") {
+			return true
+		}
+		if _, seen := firstAt[key]; !seen {
+			firstAt[key] = call.Pos()
+		}
+		fact := mustFlow.at(call)
+		if fact == nil {
+			return true
+		}
+		if op == "Lock" && fact[key] != lockNone {
+			p.Reportf(call.Pos(),
+				"%s is already held when this Lock executes: guaranteed self-deadlock (Go mutexes are not reentrant)", key)
+		} else if op == "RLock" && fact[key] == lockW {
+			p.Reportf(call.Pos(),
+				"%s is already write-held when this RLock executes: guaranteed self-deadlock", key)
+		}
+		return true
+	})
+
+	released := deferReleasedKeys(info, mustFlow.cfg)
+	reported := map[lockKey]bool{}
+	check := func(block *Block, format string) {
+		fact, _ := mayFlow.res.In[block].(lockFact)
+		if len(fact) == 0 {
+			return
+		}
+		keys := make([]lockKey, 0, len(fact))
+		for k := range fact {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+		for _, k := range keys {
+			if entry[k] != lockNone || released[k] || reported[k] {
+				continue
+			}
+			reported[k] = true
+			pos := firstAt[k]
+			if pos == token.NoPos {
+				pos = fi.fd.Pos()
+			}
+			p.Reportf(pos, format, k, funcDisplayName(fi.fd))
+		}
+	}
+	check(mustFlow.cfg.Exit,
+		"%s may still be held when %s returns; unlock on every path or defer the unlock")
+	check(mustFlow.cfg.Panic,
+		"a panic path can leave %s held in %s; release it in a defer so panics unwind the lock")
+}

@@ -1,0 +1,311 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Lock-discipline substrate shared by the lockguard analyzer: canonical
+// receiver paths, mutex-operation recognition, and the held-locks dataflow.
+// The fact lattice maps {mutex variable, receiver path} to the mode it is
+// held in (read or write); the same transfer function runs in must mode
+// (intersection merge — sound for "is this access guarded") and in may mode
+// (union merge — sound for "can this exit leave a lock held").
+
+// lockMode is how a mutex is held at a program point.
+type lockMode uint8
+
+const (
+	lockNone lockMode = iota
+	lockR             // held via RLock (shared)
+	lockW             // held via Lock (exclusive)
+)
+
+// lockKey identifies one mutex as seen from one function: the mutex variable
+// (a struct field, or a local/package-level sync.Mutex) plus the canonical
+// path of the enclosing struct value ("s", "t.c"; empty for non-field
+// mutexes). Keying on the path keeps s.mu and other.mu distinct within one
+// function without needing alias analysis.
+type lockKey struct {
+	mutex *types.Var
+	base  string
+}
+
+func (k lockKey) String() string {
+	if k.base == "" {
+		return k.mutex.Name()
+	}
+	return k.base + "." + k.mutex.Name()
+}
+
+// lockFact maps every held mutex to its mode. Treated as immutable by the
+// dataflow engine; transfer clones before mutating.
+type lockFact map[lockKey]lockMode
+
+func (f lockFact) clone() lockFact {
+	out := make(lockFact, len(f))
+	for k, m := range f {
+		out[k] = m
+	}
+	return out
+}
+
+// lockProblem is the held-locks dataflow over one function body. Deferred
+// statements are postludes (they run at termination, not in place), so
+// Transfer skips them; deferReleasedKeys accounts for them at the exits.
+type lockProblem struct {
+	info  *types.Info
+	entry lockFact
+	may   bool
+}
+
+func (lp *lockProblem) Entry() any { return lp.entry.clone() }
+
+func (lp *lockProblem) Merge(a, b any) any {
+	fa, fb := a.(lockFact), b.(lockFact)
+	out := lockFact{}
+	if lp.may {
+		for k, m := range fa {
+			out[k] = m
+		}
+		for k, m := range fb {
+			if m > out[k] {
+				out[k] = m
+			}
+		}
+		return out
+	}
+	// Must: held on every path, in the weaker of the two modes.
+	for k, m := range fa {
+		if mb := fb[k]; mb != lockNone {
+			if mb < m {
+				m = mb
+			}
+			out[k] = m
+		}
+	}
+	return out
+}
+
+func (lp *lockProblem) Equal(a, b any) bool {
+	fa, fb := a.(lockFact), b.(lockFact)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for k, m := range fa {
+		if fb[k] != m {
+			return false
+		}
+	}
+	return true
+}
+
+func (lp *lockProblem) Transfer(n ast.Node, fact any) any {
+	switch x := n.(type) {
+	case *ast.DeferStmt:
+		return fact // postlude: executes at termination, not here
+	case *ast.RangeStmt:
+		// The head node of a range loop is the whole statement; only the
+		// range expression evaluates here (body statements have their own
+		// CFG nodes).
+		n = x.X
+	}
+	in := fact.(lockFact)
+	out := in
+	cloned := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, op, ok := mutexOp(lp.info, call)
+		if !ok {
+			return true
+		}
+		if !cloned {
+			out = in.clone()
+			cloned = true
+		}
+		switch op {
+		case "Lock":
+			out[key] = lockW
+		case "RLock":
+			if out[key] < lockR {
+				out[key] = lockR
+			}
+		case "Unlock", "RUnlock":
+			delete(out, key)
+		}
+		return true
+	})
+	return out
+}
+
+// mutexOp recognizes base.mu.Lock() / RLock() / Unlock() / RUnlock() — and
+// the same operations on a local or package-level mutex — returning the lock
+// key and the operation name.
+func mutexOp(info *types.Info, call *ast.CallExpr) (lockKey, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return lockKey{}, "", false
+	}
+	recv := ast.Unparen(sel.X)
+	tv, ok := info.Types[recv]
+	if !ok || !isMutexType(tv.Type) {
+		return lockKey{}, "", false
+	}
+	switch x := recv.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[x]; ok {
+			v, ok := s.Obj().(*types.Var)
+			if !ok || !v.IsField() {
+				return lockKey{}, "", false
+			}
+			base := canonPath(x.X)
+			if base == "" {
+				return lockKey{}, "", false
+			}
+			return lockKey{mutex: v, base: base}, op, true
+		}
+		// Package-qualified: pkg.someMu.Lock().
+		if v, ok := objectOf(info, x.Sel).(*types.Var); ok {
+			return lockKey{mutex: v}, op, true
+		}
+	case *ast.Ident:
+		if v, ok := objectOf(info, x).(*types.Var); ok {
+			return lockKey{mutex: v}, op, true
+		}
+	}
+	return lockKey{}, "", false
+}
+
+// canonPath renders a chain of plain selections as a dotted path ("s",
+// "t.c"). Any computed step — a call, an index, a conversion — yields "",
+// meaning the path is not canonicalizable without alias analysis.
+func canonPath(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.StarExpr:
+		return canonPath(x.X)
+	case *ast.SelectorExpr:
+		p := canonPath(x.X)
+		if p == "" {
+			return ""
+		}
+		return p + "." + x.Sel.Name
+	}
+	return ""
+}
+
+// isMutexType reports whether t (possibly behind a pointer) is sync.Mutex or
+// sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	named, ok := derefType(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// derefType unwraps one level of pointer.
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// mutexFields returns the sync.Mutex / sync.RWMutex fields of t's struct
+// (t possibly behind a pointer), in declaration order.
+func mutexFields(t types.Type) []*types.Var {
+	st, ok := derefType(t).Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []*types.Var
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); isMutexType(f.Type()) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// isSyncPrimitive reports whether t (possibly behind a pointer) is a named
+// type from sync or sync/atomic — types that carry their own synchronization
+// discipline.
+func isSyncPrimitive(t types.Type) bool {
+	named, ok := derefType(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && (pkg.Path() == "sync" || pkg.Path() == "sync/atomic")
+}
+
+// guardExemptType reports whether a field of this type is outside guard
+// inference: sync/atomic primitives, channels (self-synchronizing), and
+// self-synchronized structs — types whose own struct carries a mutex or an
+// atomic, so their consistency is their own discipline, not the enclosing
+// struct's.
+func guardExemptType(t types.Type) bool {
+	if isSyncPrimitive(t) {
+		return true
+	}
+	if _, ok := derefType(t).Underlying().(*types.Chan); ok {
+		return true
+	}
+	st, ok := derefType(t).Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isSyncPrimitive(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// deferReleasedKeys collects the lock keys released by the body's deferred
+// statements — directly (defer mu.Unlock()) or inside a deferred closure.
+// These run on every termination, so the keys count as released at both the
+// Exit and Panic pseudo-blocks.
+func deferReleasedKeys(info *types.Info, cfg *CFG) map[lockKey]bool {
+	out := map[lockKey]bool{}
+	record := func(call *ast.CallExpr) {
+		if key, op, ok := mutexOp(info, call); ok && (op == "Unlock" || op == "RUnlock") {
+			out[key] = true
+		}
+	}
+	for _, d := range cfg.Defers {
+		record(d.Call)
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				if c, ok := n.(*ast.CallExpr); ok {
+					record(c)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typecheckSrc parses and typechecks one file of source (source-importing its
+// stdlib dependencies, so no prebuilt export data is needed) and returns the
+// file with its filled-in type info.
+func typecheckSrc(t *testing.T, src string) (*ast.File, *types.Info, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "locks_test_input.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return f, info, fset
+}
+
+// funcBody returns the body of the named function declaration.
+func funcBody(t *testing.T, f *ast.File, name string) *ast.BlockStmt {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name && fd.Body != nil {
+			return fd.Body
+		}
+	}
+	t.Fatalf("no function %q", name)
+	return nil
+}
+
+func TestLockKeyString(t *testing.T) {
+	mu := types.NewVar(token.NoPos, nil, "mu", nil)
+	if got := (lockKey{mutex: mu, base: "s"}).String(); got != "s.mu" {
+		t.Errorf("field key String() = %q, want s.mu", got)
+	}
+	if got := (lockKey{mutex: mu}).String(); got != "mu" {
+		t.Errorf("bare key String() = %q, want mu", got)
+	}
+}
+
+func TestCanonPath(t *testing.T) {
+	cases := []struct {
+		expr, want string
+	}{
+		{"s", "s"},
+		{"s.c", "s.c"},
+		{"s.c.d", "s.c.d"},
+		{"(*s).c", "s.c"}, // pointer deref is path-transparent
+		{"xs[0].c", ""},   // index expressions are not canonical
+		{"f(x).c", ""},    // call results name no stable instance
+		{"(<-ch).c", ""},  // neither do channel receives
+	}
+	for _, c := range cases {
+		e, err := parser.ParseExpr(c.expr)
+		if err != nil {
+			t.Fatalf("%q: %v", c.expr, err)
+		}
+		if got := canonPath(e); got != c.want {
+			t.Errorf("canonPath(%s) = %q, want %q", c.expr, got, c.want)
+		}
+	}
+}
+
+// TestLockFactMerge pins the two merge disciplines: must (guard checking)
+// intersects and keeps the weaker mode; may (leak checking) unions and keeps
+// the stronger mode.
+func TestLockFactMerge(t *testing.T) {
+	mu := types.NewVar(token.NoPos, nil, "mu", nil)
+	rw := types.NewVar(token.NoPos, nil, "rw", nil)
+	kmu := lockKey{mutex: mu, base: "s"}
+	krw := lockKey{mutex: rw, base: "s"}
+
+	a := lockFact{kmu: lockW, krw: lockR}
+	b := lockFact{kmu: lockR}
+
+	must := (&lockProblem{}).Merge(a, b).(lockFact)
+	if must[kmu] != lockR {
+		t.Errorf("must merge of W and R = %v, want lockR (weaker wins)", must[kmu])
+	}
+	if _, held := must[krw]; held {
+		t.Error("must merge kept a lock held on only one branch")
+	}
+
+	may := (&lockProblem{may: true}).Merge(a, b).(lockFact)
+	if may[kmu] != lockW {
+		t.Errorf("may merge of W and R = %v, want lockW (stronger wins)", may[kmu])
+	}
+	if may[krw] != lockR {
+		t.Error("may merge dropped a lock held on one branch")
+	}
+}
+
+// lockSrc is a minimal guarded struct exercised by the flow tests below.
+const lockSrc = `package p
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func deferEarly(s *S, cond bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cond {
+		return
+	}
+	s.n = 1
+}
+
+func panics(s *S) {
+	s.mu.Lock()
+	panic("held")
+}
+
+func balanced(s *S) int {
+	s.mu.Lock()
+	v := s.n
+	s.mu.Unlock()
+	return v
+}
+`
+
+// TestLockFlowDeferPostlude runs the held-locks dataflow over a body whose
+// only unlock is deferred: the raw flow must still show the mutex held at
+// Exit (defers are postludes, not edges), the guarded write must see it held,
+// and deferReleasedKeys must account for the deferred unlock.
+func TestLockFlowDeferPostlude(t *testing.T) {
+	f, info, _ := typecheckSrc(t, lockSrc)
+	cfg := BuildCFG(funcBody(t, f, "deferEarly"))
+	res := ForwardFlow(cfg, &lockProblem{info: info, entry: lockFact{}, may: true})
+
+	atExit := res.In[cfg.Exit].(lockFact)
+	if len(atExit) != 1 {
+		t.Fatalf("locks held at Exit = %v, want exactly the deferred one", atExit)
+	}
+	for k, m := range atExit {
+		if k.String() != "s.mu" || m != lockW {
+			t.Errorf("held at Exit: %s in mode %v, want s.mu in lockW", k, m)
+		}
+	}
+
+	released := deferReleasedKeys(info, cfg)
+	if len(released) != 1 {
+		t.Fatalf("deferReleasedKeys = %v, want the deferred s.mu unlock", released)
+	}
+	for k := range released {
+		if k.String() != "s.mu" {
+			t.Errorf("deferred release of %s, want s.mu", k)
+		}
+	}
+
+	// The guarded write observes the lock: FactAt replays the flow to the
+	// statement, and the defer in between is a no-op for the transfer.
+	var write ast.Node
+	ast.Inspect(funcBody(t, f, "deferEarly"), func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			write = as
+		}
+		return true
+	})
+	held := FactAt(cfg, &lockProblem{info: info, entry: lockFact{}}, res, write).(lockFact)
+	if len(held) != 1 {
+		t.Errorf("locks held at s.n = 1: %v, want s.mu", held)
+	}
+}
+
+// TestLockFlowPanicPath checks the panic edge carries the held set: a lock
+// acquired before an undeferred panic is still held at the Panic pseudo-block
+// and there is nothing deferred to release it.
+func TestLockFlowPanicPath(t *testing.T) {
+	f, info, _ := typecheckSrc(t, lockSrc)
+	cfg := BuildCFG(funcBody(t, f, "panics"))
+	res := ForwardFlow(cfg, &lockProblem{info: info, entry: lockFact{}, may: true})
+
+	atPanic, _ := res.In[cfg.Panic].(lockFact)
+	if len(atPanic) != 1 {
+		t.Fatalf("locks held at Panic = %v, want s.mu", atPanic)
+	}
+	if released := deferReleasedKeys(info, cfg); len(released) != 0 {
+		t.Errorf("deferReleasedKeys = %v, want none", released)
+	}
+}
+
+// TestLockFlowBalanced checks the plain Lock/Unlock pairing drains the fact
+// before the normal exit.
+func TestLockFlowBalanced(t *testing.T) {
+	f, info, _ := typecheckSrc(t, lockSrc)
+	cfg := BuildCFG(funcBody(t, f, "balanced"))
+	res := ForwardFlow(cfg, &lockProblem{info: info, entry: lockFact{}, may: true})
+	if atExit, _ := res.In[cfg.Exit].(lockFact); len(atExit) != 0 {
+		t.Errorf("locks held at Exit = %v, want none", atExit)
+	}
+}

@@ -7,7 +7,7 @@ import (
 )
 
 // WaitJoin flags goroutine launches in the scheduling packages (internal/par,
-// internal/core, internal/serve) that are not joined on every path to the
+// internal/core, internal/serve, internal/telemetry) that are not joined on every path to the
 // function's normal exit. A traversal primitive that returns while workers are still running
 // leaks goroutines into the caller's iteration — the exact lifetime bug the
 // -race matrix cannot reliably catch because the leaked worker usually loses
@@ -32,16 +32,19 @@ import (
 func WaitJoin() *Analyzer {
 	return &Analyzer{
 		Name: "waitjoin",
-		Doc: "flags goroutines in internal/par, internal/core, and internal/serve " +
-			"without a WaitGroup/channel join on every exit path",
+		Doc: "flags goroutines in internal/par, internal/core, internal/serve, " +
+			"and internal/telemetry without a WaitGroup/channel join on every exit path",
 		Run: runWaitJoin,
 	}
 }
 
 // waitJoinPkgs are the package names whose goroutines must be structured.
 // serve is in scope because the live server's batcher and executor follow
-// the same pool-structured lifetime (wg field Add in New, Wait in Close).
-var waitJoinPkgs = map[string]bool{"par": true, "core": true, "serve": true}
+// the same pool-structured lifetime (wg field Add in New, Wait in Close);
+// telemetry joined in PR 7 so publisher goroutines can't sneak in unjoined.
+var waitJoinPkgs = map[string]bool{
+	"par": true, "core": true, "serve": true, "telemetry": true,
+}
 
 func runWaitJoin(p *Pass) {
 	if !waitJoinPkgs[p.Pkg.Name] {

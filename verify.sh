@@ -11,13 +11,14 @@ echo "== go vet =="
 go vet ./...
 
 echo "== glignlint (concurrency + engine invariants) =="
-# The seven project analyzers (atomicmix, doclint, hotalloc, kernelmono,
-# nilrecv, parcapture, waitjoin); LINTING.md documents each invariant. The
-# driver first checks its own implementation and the command tree
-# explicitly (the linter must hold itself to the invariants it enforces),
-# then the whole module. The committed baseline pins the suppression counts
-# so new suppressions show up in review, and the machine-readable report is
-# archived under results/ for downstream tooling.
+# The eleven project analyzers (atomicmix, cancelpath, clockdet, doclint,
+# hotalloc, kernelmono, lockguard, nilrecv, parcapture, staleignore,
+# waitjoin); LINTING.md documents each invariant. The driver first checks
+# its own implementation and the command tree explicitly (the linter must
+# hold itself to the invariants it enforces), then the whole module. The
+# committed baseline pins the suppression counts so new suppressions show
+# up in review, and the machine-readable report is archived under results/
+# for downstream tooling.
 go run ./cmd/glignlint ./internal/lint ./cmd/...
 go run ./cmd/glignlint ./...
 go run ./cmd/glignlint -json ./... > results/lint-report.json
@@ -27,6 +28,18 @@ if ! diff -u results/lint-baseline.json /tmp/glign-lint-baseline.json; then
     echo "  go run ./cmd/glignlint -write-baseline results/lint-baseline.json ./..." >&2
     exit 1
 fi
+# Every registered analyzer must ship a fixture tree and a golden file —
+# an analyzer nothing exercises is an invariant nobody checks.
+for a in $(go run ./cmd/glignlint -help-analyzers | awk '{print $1}'); do
+    if [ ! -d "cmd/glignlint/testdata/src/$a" ]; then
+        echo "verify: analyzer $a has no fixture under cmd/glignlint/testdata/src/" >&2
+        exit 1
+    fi
+    if [ ! -f "cmd/glignlint/testdata/golden/$a.txt" ]; then
+        echo "verify: analyzer $a has no golden under cmd/glignlint/testdata/golden/" >&2
+        exit 1
+    fi
+done
 
 echo "== doc links =="
 # Every SOMETHING.md referenced from the entry-point docs must exist —

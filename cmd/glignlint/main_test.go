@@ -6,6 +6,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -252,6 +253,80 @@ func TestStaleIgnoreFixture(t *testing.T) {
 	}
 }
 
+// TestLockOrderFixture pins the cross-goroutine deadlock tier: the
+// accounts/audit inversion (one edge inside a spawned goroutine) reports the
+// full witness chain, the RLock→Lock upgrade fires, the consistent
+// call-site order in withBoth/record stays quiet, and the second inversion
+// is suppressed at its anchor.
+func TestLockOrderFixture(t *testing.T) {
+	findings := runAnalyzer(t, "lockorder", "testdata/src/lockorder")
+	got := formatFindings(t, findings)
+	checkGolden(t, "lockorder", got)
+	if active, suppressed := counts(findings); active != 2 || suppressed != 1 {
+		t.Errorf("want exactly 2 active and 1 suppressed, got %d/%d:\n%s", active, suppressed, got)
+	}
+	if !strings.Contains(got, "accounts.mu → audit.mu → accounts.mu") {
+		t.Errorf("missing the witness chain for the accounts/audit cycle:\n%s", got)
+	}
+	if !strings.Contains(got, "goroutine in reconcile") {
+		t.Errorf("cycle witness does not attribute the inverted edge to the spawned goroutine:\n%s", got)
+	}
+	if !strings.Contains(got, "RLock→Lock upgrade") {
+		t.Errorf("missing the RWMutex upgrade self-deadlock:\n%s", got)
+	}
+	for _, clean := range []string{"withBoth", "in record "} {
+		if strings.Contains(got, clean) {
+			t.Errorf("false positive on the consistent-order path %s:\n%s", clean, got)
+		}
+	}
+}
+
+// TestChanLifeFixture pins the channel-lifecycle tier: double close, send
+// after close (direct and via the shutdown helper's summary), the
+// possibly-nil close, the non-owner close in the spawned consumer, and the
+// lock-channel hybrid deadlock all fire; the producer hand-off and the defer
+// postlude close stay quiet; one double close is suppressed.
+func TestChanLifeFixture(t *testing.T) {
+	findings := runAnalyzer(t, "chanlife", "testdata/src/chanlife")
+	got := formatFindings(t, findings)
+	checkGolden(t, "chanlife", got)
+	if active, suppressed := counts(findings); active != 6 || suppressed != 1 {
+		t.Errorf("want exactly 6 active and 1 suppressed, got %d/%d:\n%s", active, suppressed, got)
+	}
+	for _, want := range []string{"double close", "send on out after close", "send on ch after close",
+		"possibly-nil", "closes intake without owning it", "while holding m.mu"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing finding %q:\n%s", want, got)
+		}
+	}
+	for _, clean := range []string{"fixture.go:91:", "fixture.go:93:", "fixture.go:102:", "fixture.go:104:"} {
+		if strings.Contains(got, clean) {
+			t.Errorf("false positive at %s (producer hand-off / defer postlude):\n%s", clean, got)
+		}
+	}
+}
+
+// TestStaleIgnoreSubset pins the subset semantics: a directive naming only
+// lockorder is skipped when lockorder is deselected (a subset run cannot
+// judge it) and reported stale only by a run that selects lockorder.
+func TestStaleIgnoreSubset(t *testing.T) {
+	findings := runAnalyzer(t, "waitjoin,staleignore", "testdata/src/staleignore")
+	for _, f := range findings {
+		if strings.Contains(f.Message, "lockorder") {
+			t.Errorf("directive naming unselected lockorder reported stale: %s", f.String())
+		}
+	}
+	findings = runAnalyzer(t, "lockorder,staleignore", "testdata/src/staleignore")
+	active, suppressed := counts(findings)
+	if active != 1 || suppressed != 0 {
+		t.Fatalf("lockorder,staleignore: want exactly 1 active and 0 suppressed, got %d/%d:\n%s",
+			active, suppressed, formatFindings(t, findings))
+	}
+	if !strings.Contains(findings[0].Message, "glignlint/lockorder") {
+		t.Errorf("the stale report should name the lockorder directive: %s", findings[0].String())
+	}
+}
+
 func TestDocLintFixture(t *testing.T) {
 	findings := runAnalyzer(t, "doclint", "testdata/src/doclint/...")
 	got := formatFindings(t, findings)
@@ -298,5 +373,44 @@ func TestCLI(t *testing.T) {
 	// An unknown analyzer is a usage error (exit 2).
 	if code := run([]string{"-analyzers", "nosuch", "testdata/src/atomicmix"}, &out, &errb); code != 2 {
 		t.Fatalf("unknown analyzer exit = %d, want 2", code)
+	}
+
+	// A pattern that loads nothing is a driver error (exit 2), distinct from
+	// the findings exit (1) above.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"testdata/src/nosuchfixture"}, &out, &errb); code != 2 {
+		t.Fatalf("load error exit = %d, want 2; stderr: %s", code, errb.String())
+	}
+}
+
+// TestHelpAnalyzersSorted pins the catalogue output: deterministically
+// sorted, one analyzer per line, with the cross-goroutine tier present —
+// verify.sh's fixture-coverage loop parses this output.
+func TestHelpAnalyzersSorted(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-help-analyzers"}, &out, &errb); code != 0 {
+		t.Fatalf("-help-analyzers exit = %d, want 0; stderr: %s", code, errb.String())
+	}
+	var names []string
+	for _, line := range strings.Split(strings.TrimRight(out.String(), "\n"), "\n") {
+		names = append(names, strings.Fields(line)[0])
+	}
+	if len(names) != 13 {
+		t.Fatalf("catalogue lists %d analyzers, want 13:\n%s", len(names), out.String())
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("catalogue is not sorted: %v", names)
+	}
+	for _, want := range []string{"chanlife", "lockorder"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("catalogue is missing %q: %v", want, names)
+		}
 	}
 }

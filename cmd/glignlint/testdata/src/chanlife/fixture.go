@@ -1,0 +1,114 @@
+// Package serve is the chanlife analyzer fixture: double close, send after
+// close (directly and through a closing helper's summary), close of a
+// possibly-nil channel, a non-owner close in a spawned goroutine, the
+// lock-channel hybrid deadlock, and the ownership-transfer / defer-postlude
+// true negatives.
+package serve
+
+import "sync"
+
+// doubleClose closes the same channel twice: the second close panics.
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch)
+}
+
+// sendAfterClose sends on a channel it has already closed.
+func sendAfterClose(vs []int) chan int {
+	out := make(chan int, 8)
+	close(out)
+	for _, v := range vs {
+		out <- v
+	}
+	return out
+}
+
+// retire closes through a helper, then sends: the callee's close summary
+// reaches the send site.
+func retire(ch chan int) {
+	shutdown(ch)
+	ch <- 0
+}
+
+// shutdown closes its parameter on behalf of its callers.
+func shutdown(ch chan int) {
+	close(ch)
+}
+
+// nilClose closes a channel that was never made on the false branch.
+func nilClose(cond bool) {
+	var ch chan int
+	if cond {
+		ch = make(chan int)
+	}
+	close(ch)
+}
+
+// mailbox pairs a lock with an unbuffered hand-off channel.
+type mailbox struct {
+	mu sync.Mutex
+	q  chan int
+	n  int
+}
+
+// newMailbox builds the unbuffered mailbox.
+func newMailbox() *mailbox {
+	return &mailbox{q: make(chan int)}
+}
+
+// post sends on the unbuffered channel while still holding the lock: a
+// receiver that needs m.mu to drain deadlocks both sides.
+func (m *mailbox) post(v int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.n++
+	m.q <- v
+}
+
+// take is the mailbox receiver.
+func (m *mailbox) take() int {
+	return <-m.q
+}
+
+// drainAndClose primes the channel, then spawns a consumer that closes it
+// out from under the sender: the goroutine neither creates nor sends.
+func drainAndClose(intake chan int, sink func(int)) {
+	intake <- 0
+	go func() {
+		for v := range intake {
+			sink(v)
+		}
+		close(intake)
+	}()
+}
+
+// producer transfers ownership into the spawned sender, which closes after
+// its last send: the owner closing its own channel is the protocol.
+func producer(vs []int) <-chan int {
+	ch := make(chan int)
+	go func() {
+		defer close(ch)
+		for _, v := range vs {
+			ch <- v
+		}
+	}()
+	return ch
+}
+
+// deferClose sends and then closes exactly once via the defer postlude.
+func deferClose(vs []int) {
+	ch := make(chan int, len(vs))
+	defer close(ch)
+	for _, v := range vs {
+		ch <- v
+	}
+}
+
+// shutdownTwice keeps an acknowledged double close to exercise suppression
+// accounting.
+func shutdownTwice(ch chan int) {
+	close(ch)
+	//lint:ignore glignlint/chanlife fixture: double close retained to exercise suppression accounting
+	close(ch)
+}

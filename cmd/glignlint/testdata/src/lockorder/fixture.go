@@ -1,0 +1,101 @@
+// Package lockorder is the lockorder analyzer fixture: a two-lock inversion
+// whose closing edge hides inside a spawned goroutine, a consistent
+// cross-function order that stays quiet, an RLock→Lock upgrade, and a second
+// inversion acknowledged with a suppression.
+package lockorder
+
+import "sync"
+
+type accounts struct {
+	mu      sync.Mutex
+	balance int
+}
+
+type audit struct {
+	mu  sync.Mutex
+	log []int
+}
+
+// transfer establishes accounts.mu → audit.mu: the audit lock is acquired
+// while the balance lock is held (released by the defer postlude).
+func transfer(a *accounts, l *audit, v int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.balance -= v
+	l.mu.Lock()
+	l.log = append(l.log, v)
+	l.mu.Unlock()
+}
+
+// reconcile spawns a goroutine taking the same two locks in the opposite
+// order: audit.mu → accounts.mu closes the cycle across goroutines.
+func reconcile(a *accounts, l *audit) {
+	go func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		a.mu.Lock()
+		a.balance++
+		a.mu.Unlock()
+	}()
+}
+
+// withBoth takes the locks in the same order as transfer, through a callee:
+// the call-site edge agrees with the global order and adds no cycle.
+func withBoth(a *accounts, l *audit) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	record(l, a.balance)
+}
+
+// record appends under the audit lock.
+func record(l *audit, v int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.log = append(l.log, v)
+}
+
+type gauge struct {
+	rw sync.RWMutex
+	v  int
+}
+
+// bump upgrades a read lock to a write lock on the same mutex: the writer
+// waits for all readers to drain, including its own read side.
+func (g *gauge) bump() {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	g.rw.Lock()
+	g.v++
+	g.rw.Unlock()
+}
+
+type intake struct {
+	mu sync.Mutex
+	q  []int
+}
+
+type flusher struct {
+	mu   sync.Mutex
+	last int
+}
+
+// stage establishes intake.mu → flusher.mu.
+func stage(in *intake, f *flusher, v int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.q = append(in.q, v)
+	f.mu.Lock()
+	f.last = v
+	f.mu.Unlock()
+}
+
+// drainStage inverts the stage/flush pair; the cycle is acknowledged and
+// suppressed pending the flush-queue rework.
+func drainStage(in *intake, f *flusher) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	//lint:ignore glignlint/lockorder fixture: second inversion kept to exercise suppression accounting
+	in.mu.Lock()
+	in.q = in.q[:0]
+	in.mu.Unlock()
+}

@@ -40,3 +40,13 @@ func alsoJoined(work func()) {
 	//lint:ignore glignlint/waitjoin fixture: stale on purpose — the launch is channel-joined
 	<-done
 }
+
+// subsetOnly carries a directive naming an analyzer (lockorder) that the
+// staleignore fixture test deliberately leaves unselected: a subset run
+// cannot judge such a directive, so it must never be reported stale there —
+// only a run that actually selects lockorder may decide.
+func subsetOnly(mu *sync.Mutex) {
+	//lint:ignore glignlint/lockorder fixture: judged only when lockorder itself is selected
+	mu.Lock()
+	mu.Unlock()
+}

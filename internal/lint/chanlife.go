@@ -1,0 +1,918 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ChanLife is the channel-lifecycle analyzer for the packages that move data
+// between goroutines (serve, core, par, and the mains). Channel identity is
+// the declared *types.Var plus the canonical receiver path (the same scheme
+// locks.go uses for mutexes), make sites — including composite-literal field
+// initializers — record buffering, and close/send effects propagate through
+// the static call graph as per-function summaries (a helper that closes its
+// parameter closes the argument at every call site). Over that substrate a
+// forward may-analysis tracks closed and possibly-nil channels per function
+// body, and goroutine bodies from the spawn registry are analyzed as roots
+// of their own.
+//
+// Findings:
+//
+//   - double close — a close whose operand may already be closed on some
+//     path (directly or via a callee's close summary): closing twice panics;
+//   - send after close — a send whose channel may be closed: panics;
+//   - close of a possibly-nil channel — a local declared without make and
+//     not assigned on every path to the close: panics;
+//   - close of a receive-only channel (defense in depth; the type checker
+//     rejects the direct form);
+//   - non-owner close — a goroutine that neither creates, nor sends on, nor
+//     receives ownership of a channel (as a parameter — cancelpath's
+//     ownership-transfer rule) still closes it while senders exist
+//     elsewhere: the receiver side closing out from under senders makes
+//     every racing send a panic. Channels nobody sends on are exempt — a
+//     close-only channel is a broadcast signal (par's job.done, serve's
+//     Ticket.done) and closing it is exactly its protocol;
+//   - lock-channel hybrid deadlock — an unconditional send on a channel
+//     whose every make site is unbuffered, executed while a lock from the
+//     lockorder graph is must-held: if the receiver needs that lock to
+//     drain, neither side can proceed. Sends inside select communication
+//     clauses are exempt (they do not commit blind), as are channels with
+//     any buffered or unknown make site.
+//
+// Precision limits, by design: facts are keyed per canonical path, so
+// instances reached through computed paths (indexing, calls) are not
+// tracked; rebinding a path's base variable kills its facts (a fresh
+// instance is a fresh lifecycle); and close summaries do not cross function
+// literals. LINTING.md documents each trade-off.
+func ChanLife() *Analyzer {
+	return &Analyzer{
+		Name: "chanlife",
+		Doc: "channel lifecycle in serve/core/par/mains: double close, send " +
+			"after close, close of nil/receive-only channels, non-owner closes " +
+			"in goroutines, and unbuffered sends while holding a lock",
+		Run: runChanLife,
+	}
+}
+
+// chanLifePkgs scopes the per-body checks, mirroring cancelpath: the
+// packages whose channels cross goroutines. Summaries still build module-
+// wide so an out-of-scope helper's effects are visible.
+var chanLifePkgs = map[string]bool{"serve": true, "core": true, "par": true, "main": true}
+
+func runChanLife(p *Pass) {
+	p.Prog.chanLifeFor().report(p)
+}
+
+// chanLifeFor returns the memoized module-wide channel-lifecycle analysis.
+func (pr *Program) chanLifeFor() *chanLifeAnalysis {
+	if pr.chanlifeMemo == nil {
+		pr.chanlifeMemo = buildChanLife(pr)
+	}
+	return pr.chanlifeMemo
+}
+
+// chanID identifies one channel as seen from one function: the channel
+// variable plus the canonical path of the enclosing struct value ("s" for
+// s.batches; empty for locals, parameters, and package-level channels).
+// root is the object the path hangs off, for kill-on-rebind.
+type chanID struct {
+	v    *types.Var
+	base string
+	root types.Object
+}
+
+func (id chanID) String() string {
+	if id.base == "" {
+		return id.v.Name()
+	}
+	return id.base + "." + id.v.Name()
+}
+
+// chanSummary is one function's channel effects visible to callers: the
+// parameter indices and field classes it may send on or close, directly or
+// transitively.
+type chanSummary struct {
+	sendParams  map[int]bool
+	sendFields  map[*types.Var]bool
+	closeParams map[int]bool
+	closeFields map[*types.Var]bool
+}
+
+func newChanSummary() *chanSummary {
+	return &chanSummary{
+		sendParams:  map[int]bool{},
+		sendFields:  map[*types.Var]bool{},
+		closeParams: map[int]bool{},
+		closeFields: map[*types.Var]bool{},
+	}
+}
+
+// chanFinding is one precomputed diagnostic, reported in pkg.
+type chanFinding struct {
+	pkg *Package
+	pos token.Pos
+	msg string
+}
+
+// chanLifeAnalysis is the module-wide channel-lifecycle state.
+type chanLifeAnalysis struct {
+	prog *Program
+	// hasMake marks channel classes with at least one visible make site;
+	// unbuffered holds only when every such site has zero capacity.
+	hasMake    map[*types.Var]bool
+	unbuffered map[*types.Var]bool
+	// senders marks channel classes some body in the module sends on.
+	senders   map[*types.Var]bool
+	summaries map[*types.Func]*chanSummary
+	findings  []chanFinding
+}
+
+func buildChanLife(prog *Program) *chanLifeAnalysis {
+	ca := &chanLifeAnalysis{
+		prog:       prog,
+		hasMake:    map[*types.Var]bool{},
+		unbuffered: map[*types.Var]bool{},
+		senders:    map[*types.Var]bool{},
+		summaries:  map[*types.Func]*chanSummary{},
+	}
+	ca.collectMakesAndSenders()
+	ca.buildSummaries()
+
+	la := prog.lockguardFor()
+	for _, fi := range la.fns {
+		if !chanLifePkgs[fi.pkg.Name] {
+			continue
+		}
+		ca.checkBody(fi.pkg, fi.fd.Body, la.must[fi.fd])
+	}
+	for _, sp := range prog.Spawns() {
+		if sp.Lit == nil || !chanLifePkgs[sp.Pkg.Name] {
+			continue
+		}
+		cfg := prog.CFG(sp.Lit.Body)
+		problem := &lockProblem{info: sp.Pkg.Info}
+		flow := &lockFlow{cfg: cfg, problem: problem, res: ForwardFlow(cfg, problem)}
+		ca.checkBody(sp.Pkg, sp.Lit.Body, flow)
+	}
+	ca.checkOwnership()
+
+	sort.SliceStable(ca.findings, func(i, j int) bool {
+		if ca.findings[i].pkg != ca.findings[j].pkg {
+			return ca.findings[i].pkg.ImportPath < ca.findings[j].pkg.ImportPath
+		}
+		return ca.findings[i].pos < ca.findings[j].pos
+	})
+	return ca
+}
+
+func (ca *chanLifeAnalysis) reportf(pkg *Package, pos token.Pos, format string, args ...interface{}) {
+	ca.findings = append(ca.findings, chanFinding{pkg: pkg, pos: pos, msg: fmt.Sprintf(format, args...)})
+}
+
+// report emits the findings that land in pass's package.
+func (ca *chanLifeAnalysis) report(p *Pass) {
+	for _, f := range ca.findings {
+		if f.pkg == p.Pkg {
+			p.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+}
+
+// isChanType reports whether t's underlying type is a channel.
+func isChanType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// chanIDOf resolves an expression to a channel identity: a plain identifier,
+// a canonical-path field selection, or a package-qualified variable.
+func chanIDOf(info *types.Info, e ast.Expr) (chanID, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := objectOf(info, x).(*types.Var); ok && isChanType(v.Type()) {
+			return chanID{v: v, root: v}, true
+		}
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[x]; ok {
+			v, ok := s.Obj().(*types.Var)
+			if !ok || !v.IsField() || !isChanType(v.Type()) {
+				return chanID{}, false
+			}
+			base := canonPath(x.X)
+			if base == "" {
+				return chanID{}, false
+			}
+			return chanID{v: v, base: base, root: baseIdentObj(info, x.X)}, true
+		}
+		if v, ok := objectOf(info, x.Sel).(*types.Var); ok && isChanType(v.Type()) {
+			return chanID{v: v, root: v}, true
+		}
+	}
+	return chanID{}, false
+}
+
+// isMakeChan recognizes make(chan T[, cap]), reporting whether the site is
+// provably unbuffered (no capacity, or a constant zero capacity).
+func isMakeChan(info *types.Info, e ast.Expr) (unbuffered, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return false, false
+	}
+	id, isIdent := ast.Unparen(call.Fun).(*ast.Ident)
+	if !isIdent {
+		return false, false
+	}
+	if b, isBuiltin := objectOf(info, id).(*types.Builtin); !isBuiltin || b.Name() != "make" {
+		return false, false
+	}
+	if len(call.Args) == 0 {
+		return false, false
+	}
+	tv, hasType := info.Types[call.Args[0]]
+	if !hasType || !isChanType(tv.Type) {
+		return false, false
+	}
+	if len(call.Args) < 2 {
+		return true, true
+	}
+	if cv := info.Types[call.Args[1]].Value; cv != nil {
+		if n, exact := constant.Int64Val(cv); exact && n == 0 {
+			return true, true
+		}
+	}
+	return false, true
+}
+
+// isCloseCall recognizes the builtin close(ch), returning the operand.
+func isCloseCall(info *types.Info, call *ast.CallExpr) (ast.Expr, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	if b, ok := objectOf(info, id).(*types.Builtin); !ok || b.Name() != "close" {
+		return nil, false
+	}
+	if len(call.Args) != 1 {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+// collectMakesAndSenders records, module-wide, every channel class's make
+// sites (with buffering) and whether anything sends on it. Both walks cover
+// function literals: a make or send inside a closure is as real as one
+// outside it.
+func (ca *chanLifeAnalysis) collectMakesAndSenders() {
+	for _, pkg := range ca.prog.All {
+		info := pkg.Info
+		recordMake := func(target *types.Var, site ast.Expr) {
+			unbuf, ok := isMakeChan(info, site)
+			if !ok {
+				return
+			}
+			if !ca.hasMake[target] {
+				ca.hasMake[target] = true
+				ca.unbuffered[target] = unbuf
+			} else if !unbuf {
+				ca.unbuffered[target] = false
+			}
+		}
+		for _, fd := range funcDecls(pkg) {
+			if fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.AssignStmt:
+					if len(x.Lhs) != len(x.Rhs) {
+						return true
+					}
+					for i, lhs := range x.Lhs {
+						if id, ok := chanIDOf(info, lhs); ok {
+							recordMake(id.v, x.Rhs[i])
+						}
+					}
+				case *ast.ValueSpec:
+					if len(x.Names) != len(x.Values) {
+						return true
+					}
+					for i, name := range x.Names {
+						if v, ok := info.Defs[name].(*types.Var); ok && isChanType(v.Type()) {
+							recordMake(v, x.Values[i])
+						}
+					}
+				case *ast.CompositeLit:
+					for _, elt := range x.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						key, ok := kv.Key.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						if v, ok := objectOf(info, key).(*types.Var); ok && v.IsField() && isChanType(v.Type()) {
+							recordMake(v, kv.Value)
+						}
+					}
+				case *ast.SendStmt:
+					if id, ok := chanIDOf(info, x.Chan); ok {
+						ca.senders[id.v] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	// Package-level channel declarations count as make sites too.
+	for _, pkg := range ca.prog.All {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Names) != len(vs.Values) {
+						continue
+					}
+					for i, name := range vs.Names {
+						if v, ok := info.Defs[name].(*types.Var); ok && isChanType(v.Type()) {
+							if unbuf, isMake := isMakeChan(info, vs.Values[i]); isMake {
+								if !ca.hasMake[v] {
+									ca.hasMake[v], ca.unbuffered[v] = true, unbuf
+								} else if !unbuf {
+									ca.unbuffered[v] = false
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// buildSummaries computes the send/close effect summaries per declared
+// function: direct effects outside literals and defers, then a fixpoint
+// folding callee effects through call-site arguments (a callee that closes
+// its i'th parameter closes whatever the caller passed there).
+func (ca *chanLifeAnalysis) buildSummaries() {
+	type fnInfo struct {
+		pkg *Package
+		fd  *ast.FuncDecl
+		fn  *types.Func
+	}
+	var fns []fnInfo
+	for _, pkg := range ca.prog.All {
+		for _, fd := range funcDecls(pkg) {
+			if fd.Body == nil {
+				continue
+			}
+			fn := funcOf(pkg, fd)
+			if fn == nil {
+				continue
+			}
+			fns = append(fns, fnInfo{pkg, fd, fn})
+			sum := newChanSummary()
+			info := pkg.Info
+			classify := func(e ast.Expr, params map[int]bool, fields map[*types.Var]bool) {
+				id, ok := chanIDOf(info, e)
+				if !ok {
+					return
+				}
+				if id.v.IsField() {
+					fields[id.v] = true
+				} else if idx := paramIndex(fn, id.v); idx >= 0 {
+					params[idx] = true
+				}
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.FuncLit, *ast.DeferStmt:
+					return false
+				case *ast.SendStmt:
+					classify(x.Chan, sum.sendParams, sum.sendFields)
+				case *ast.CallExpr:
+					if arg, ok := isCloseCall(info, x); ok {
+						classify(arg, sum.closeParams, sum.closeFields)
+					}
+				}
+				return true
+			})
+			ca.summaries[fn] = sum
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range fns {
+			sum := ca.summaries[fi.fn]
+			for _, site := range ca.prog.Graph.ByCaller[fi.fn] {
+				if site.InLit {
+					continue
+				}
+				callee := ca.summaries[site.Callee]
+				if callee == nil {
+					continue
+				}
+				apply := func(fromParams map[int]bool, fromFields map[*types.Var]bool,
+					toParams map[int]bool, toFields map[*types.Var]bool) {
+					for f := range fromFields {
+						if !toFields[f] {
+							toFields[f] = true
+							changed = true
+						}
+					}
+					for idx := range fromParams {
+						if idx >= len(site.Call.Args) {
+							continue
+						}
+						id, ok := chanIDOf(fi.pkg.Info, site.Call.Args[idx])
+						if !ok {
+							continue
+						}
+						if id.v.IsField() {
+							if !toFields[id.v] {
+								toFields[id.v] = true
+								changed = true
+							}
+						} else if j := paramIndex(fi.fn, id.v); j >= 0 && !toParams[j] {
+							toParams[j] = true
+							changed = true
+						}
+					}
+				}
+				apply(callee.sendParams, callee.sendFields, sum.sendParams, sum.sendFields)
+				apply(callee.closeParams, callee.closeFields, sum.closeParams, sum.closeFields)
+			}
+		}
+	}
+	// A summarized send is a send: fold field sends into the class-level
+	// sender set (parameter sends were already recorded at the send itself).
+	for _, sum := range ca.summaries {
+		for f := range sum.sendFields {
+			ca.senders[f] = true
+		}
+	}
+}
+
+// paramIndex returns v's index among fn's parameters (receiver excluded), or
+// -1.
+func paramIndex(fn *types.Func, v *types.Var) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// chanFact is the per-point lifecycle state: channels possibly closed (by
+// precise id, or by class when a callee's field-close summary applies) and
+// locals possibly nil. Treated as immutable; transfer clones before writing.
+type chanFact struct {
+	closed      map[chanID]bool
+	classClosed map[*types.Var]bool
+	maybeNil    map[*types.Var]bool
+}
+
+func newChanFact() *chanFact {
+	return &chanFact{closed: map[chanID]bool{}, classClosed: map[*types.Var]bool{}, maybeNil: map[*types.Var]bool{}}
+}
+
+func (f *chanFact) clone() *chanFact {
+	out := newChanFact()
+	for k, v := range f.closed {
+		out.closed[k] = v
+	}
+	for k, v := range f.classClosed {
+		out.classClosed[k] = v
+	}
+	for k, v := range f.maybeNil {
+		out.maybeNil[k] = v
+	}
+	return out
+}
+
+// chanProblem is the forward may-analysis over one body.
+type chanProblem struct {
+	info *types.Info
+	an   *chanLifeAnalysis
+}
+
+func (cp *chanProblem) Entry() any { return newChanFact() }
+
+func (cp *chanProblem) Merge(a, b any) any {
+	fa, fb := a.(*chanFact), b.(*chanFact)
+	out := fa.clone()
+	for k := range fb.closed {
+		out.closed[k] = true
+	}
+	for k := range fb.classClosed {
+		out.classClosed[k] = true
+	}
+	for k := range fb.maybeNil {
+		out.maybeNil[k] = true
+	}
+	return out
+}
+
+func (cp *chanProblem) Equal(a, b any) bool {
+	fa, fb := a.(*chanFact), b.(*chanFact)
+	if len(fa.closed) != len(fb.closed) || len(fa.classClosed) != len(fb.classClosed) ||
+		len(fa.maybeNil) != len(fb.maybeNil) {
+		return false
+	}
+	for k := range fa.closed {
+		if !fb.closed[k] {
+			return false
+		}
+	}
+	for k := range fa.classClosed {
+		if !fb.classClosed[k] {
+			return false
+		}
+	}
+	for k := range fa.maybeNil {
+		if !fb.maybeNil[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (cp *chanProblem) Transfer(n ast.Node, fact any) any {
+	switch x := n.(type) {
+	case *ast.DeferStmt:
+		return fact // postlude: executes at termination, not here
+	case *ast.RangeStmt:
+		// Only the range expression evaluates at the head node, but a
+		// rebinding key/value means a fresh instance each iteration: kill
+		// facts rooted at the loop variables.
+		out := fact.(*chanFact)
+		for _, e := range []ast.Expr{x.Key, x.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				if v, ok := objectOf(cp.info, id).(*types.Var); ok {
+					out = killRoot(out, v)
+				}
+			}
+		}
+		n, fact = x.X, out
+	}
+	in := fact.(*chanFact)
+	out := in
+	cloned := false
+	mut := func() *chanFact {
+		if !cloned {
+			out = in.clone()
+			cloned = true
+		}
+		return out
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.DeclStmt:
+			gd, ok := x.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) > 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					if v, ok := cp.info.Defs[name].(*types.Var); ok && isChanType(v.Type()) {
+						mut().maybeNil[v] = true
+					}
+				}
+			}
+			return true
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				id, ok := chanIDOf(cp.info, lhs)
+				if !ok {
+					if lid, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
+						if v, isVar := objectOf(cp.info, lid).(*types.Var); isVar {
+							out = killRoot(mut(), v)
+							cloned = true
+						}
+					}
+					continue
+				}
+				o := mut()
+				delete(o.closed, id)
+				if id.base == "" {
+					// A rebound local is a fresh lifecycle.
+					out = killRoot(o, id.v)
+					cloned = true
+					if len(x.Lhs) == len(x.Rhs) && isNilExpr(cp.info, x.Rhs[i]) {
+						mut().maybeNil[id.v] = true
+					} else {
+						delete(mut().maybeNil, id.v)
+					}
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			if arg, ok := isCloseCall(cp.info, x); ok {
+				if id, ok := chanIDOf(cp.info, arg); ok {
+					mut().closed[id] = true
+				}
+				return true
+			}
+			callee, _ := calleeOf(cp.info, x)
+			if callee == nil {
+				return true
+			}
+			sum := cp.an.summaries[callee]
+			if sum == nil {
+				return true
+			}
+			for idx := range sum.closeParams {
+				if idx >= len(x.Args) {
+					continue
+				}
+				if id, ok := chanIDOf(cp.info, x.Args[idx]); ok {
+					mut().closed[id] = true
+				}
+			}
+			for f := range sum.closeFields {
+				mut().classClosed[f] = true
+			}
+			return true
+		}
+		return true
+	})
+	return out
+}
+
+// killRoot drops every fact rooted at v: rebinding the base of a path means
+// the facts describe the previous instance.
+func killRoot(f *chanFact, v *types.Var) *chanFact {
+	out := f.clone()
+	for k := range out.closed {
+		if k.root == types.Object(v) || k.v == v {
+			delete(out.closed, k)
+		}
+	}
+	delete(out.maybeNil, v)
+	return out
+}
+
+// isNilExpr reports whether e is the predeclared nil.
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := objectOf(info, id).(*types.Nil)
+	return isNil
+}
+
+// mayClosed reports whether id may be closed under fact, precisely or at
+// class level.
+func mayClosed(fact *chanFact, id chanID) bool {
+	return fact.closed[id] || fact.classClosed[id.v]
+}
+
+// checkBody runs the lifecycle flow over one body (a declared function or a
+// spawned literal, with the matching must-held lock flow) and reports the
+// flow findings at close and send sites.
+func (ca *chanLifeAnalysis) checkBody(pkg *Package, body *ast.BlockStmt, locks *lockFlow) {
+	info := pkg.Info
+	cfg := ca.prog.CFG(body)
+	problem := &chanProblem{info: info, an: ca}
+	res := ForwardFlow(cfg, problem)
+	at := func(n ast.Node) *chanFact {
+		fact, _ := FactAt(cfg, problem, res, n).(*chanFact)
+		return fact
+	}
+
+	// Sends inside select communication clauses do not commit blind: the
+	// hybrid-deadlock check exempts them.
+	selectSends := map[*ast.SendStmt]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, clause := range sel.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok {
+					if s, ok := cc.Comm.(*ast.SendStmt); ok {
+						selectSends[s] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			arg, ok := isCloseCall(info, x)
+			if !ok {
+				return true
+			}
+			if tv, ok := info.Types[arg]; ok {
+				if ch, isChan := tv.Type.Underlying().(*types.Chan); isChan && ch.Dir() == types.RecvOnly {
+					ca.reportf(pkg, x.Pos(), "close of receive-only channel: only the sender may close")
+					return true
+				}
+			}
+			id, ok := chanIDOf(info, arg)
+			if !ok {
+				return true
+			}
+			fact := at(x)
+			if fact == nil {
+				return true // statically unreachable
+			}
+			switch {
+			case mayClosed(fact, id):
+				ca.reportf(pkg, x.Pos(),
+					"double close of %s: a path reaches this close with the channel already closed, which panics; "+
+						"close exactly once (a sync.Once or an owner goroutine makes the discipline structural)", id)
+			case id.base == "" && fact.maybeNil[id.v]:
+				ca.reportf(pkg, x.Pos(),
+					"close of possibly-nil channel %s: it is declared without make and not assigned on every "+
+						"path to this close, and closing a nil channel panics", id)
+			}
+		case *ast.SendStmt:
+			id, ok := chanIDOf(info, x.Chan)
+			if !ok {
+				return true
+			}
+			fact := at(x)
+			if fact == nil {
+				return true
+			}
+			if mayClosed(fact, id) {
+				ca.reportf(pkg, x.Pos(),
+					"send on %s after close: a path closes the channel before this send, which panics; "+
+						"only the sender should close, after its last send", id)
+				return true
+			}
+			if selectSends[x] || !ca.hasMake[id.v] || !ca.unbuffered[id.v] || locks == nil {
+				return true
+			}
+			if held := locks.at(x); len(held) > 0 {
+				ca.reportf(pkg, x.Pos(),
+					"blocking send on unbuffered channel %s while holding %s: if the receiver needs that lock "+
+						"to drain, neither side can proceed (lock-channel deadlock); release the lock before "+
+						"the send, buffer the channel, or use a select",
+					id, heldNames(held))
+			}
+		}
+		return true
+	})
+}
+
+// heldNames renders a held-locks fact for messages, deterministically.
+func heldNames(fact lockFact) string {
+	keys := sortedHeldKeys(fact)
+	names := make([]string, len(keys))
+	for i, k := range keys {
+		names[i] = k.String()
+	}
+	if len(names) == 1 {
+		return names[0]
+	}
+	out := names[0]
+	for _, n := range names[1:] {
+		out += " and " + n
+	}
+	return out
+}
+
+// checkOwnership enforces the close-ownership rule over goroutine bodies:
+// a spawned body (literal or named callee) that closes a channel it neither
+// created, nor sends on (directly or through its callees' summaries), nor
+// received as its own parameter — while senders for that channel exist
+// elsewhere in the module — is a receiver closing out from under the
+// senders. Close-only channels (no senders anywhere) are broadcast signals
+// and exempt.
+func (ca *chanLifeAnalysis) checkOwnership() {
+	seenCallee := map[*types.Func]bool{}
+	for _, sp := range ca.prog.Spawns() {
+		if !chanLifePkgs[sp.Pkg.Name] {
+			continue
+		}
+		var body *ast.BlockStmt
+		var pkg *Package
+		params := map[*types.Var]bool{}
+		switch {
+		case sp.Lit != nil:
+			body, pkg = sp.Lit.Body, sp.Pkg
+			for _, field := range sp.Lit.Type.Params.List {
+				for _, name := range field.Names {
+					if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						params[v] = true
+					}
+				}
+			}
+		case sp.Callee != nil:
+			if seenCallee[sp.Callee] {
+				continue
+			}
+			seenCallee[sp.Callee] = true
+			fd := ca.prog.Graph.DeclOf[sp.Callee]
+			pkg = ca.prog.Graph.PkgOf[sp.Callee]
+			if fd == nil || fd.Body == nil || pkg == nil {
+				continue
+			}
+			body = fd.Body
+			sig, _ := sp.Callee.Type().(*types.Signature)
+			if sig != nil {
+				for i := 0; i < sig.Params().Len(); i++ {
+					params[sig.Params().At(i)] = true
+				}
+			}
+		default:
+			continue
+		}
+		ca.checkBodyOwnership(sp, pkg, body, params)
+	}
+}
+
+func (ca *chanLifeAnalysis) checkBodyOwnership(sp *Spawn, pkg *Package, body *ast.BlockStmt, params map[*types.Var]bool) {
+	info := pkg.Info
+	// The classes this goroutine creates or sends on — ownership it holds.
+	owns := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if id, ok := chanIDOf(info, x.Chan); ok {
+				owns[id.v] = true
+			}
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, lhs := range x.Lhs {
+				if _, isMake := isMakeChan(info, x.Rhs[i]); !isMake {
+					continue
+				}
+				if id, ok := chanIDOf(info, lhs); ok {
+					owns[id.v] = true
+				}
+			}
+		case *ast.CallExpr:
+			callee, _ := calleeOf(info, x)
+			if callee == nil {
+				return true
+			}
+			if sum := ca.summaries[callee]; sum != nil {
+				for f := range sum.sendFields {
+					owns[f] = true
+				}
+				for idx := range sum.sendParams {
+					if idx >= len(x.Args) {
+						continue
+					}
+					if id, ok := chanIDOf(info, x.Args[idx]); ok {
+						owns[id.v] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		arg, ok := isCloseCall(info, call)
+		if !ok {
+			return true
+		}
+		id, ok := chanIDOf(info, arg)
+		if !ok {
+			return true
+		}
+		if params[id.v] || owns[id.v] || !ca.senders[id.v] {
+			return true
+		}
+		ca.reportf(pkg, call.Pos(),
+			"%s closes %s without owning it (the goroutine neither creates it, sends on it, nor received "+
+				"it as a parameter, while senders exist elsewhere): a racing send on the closed channel "+
+				"panics; leave the close to the sending side", sp.Label(), id)
+		return true
+	})
+}

@@ -84,21 +84,27 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
-// All returns the full analyzer registry in stable (alphabetical) order.
+// All returns the full analyzer registry in stable (alphabetical) order; the
+// sort enforces the order even if the literal drifts, because -help-analyzers
+// output and the fixture-coverage check in verify.sh both key off it.
 func All() []*Analyzer {
-	return []*Analyzer{
+	as := []*Analyzer{
 		AtomicMix(),
 		CancelPath(),
+		ChanLife(),
 		ClockDet(),
 		DocLint(),
 		HotAlloc(),
 		KernelMono(),
 		LockGuard(),
+		LockOrder(),
 		NilRecv(),
 		ParCapture(),
 		StaleIgnore(),
 		WaitJoin(),
 	}
+	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
+	return as
 }
 
 // StaleIgnore reports //lint:ignore directives that match no finding of the

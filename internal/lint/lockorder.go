@@ -1,0 +1,480 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LockOrder detects potential cross-goroutine deadlocks from inconsistent
+// lock acquisition order. It builds one module-wide lock-ordering graph over
+// lock classes (the mutex *types.Var — Server.mu is one node no matter how
+// many receivers reach it): an edge L1→L2 is recorded whenever L2 is
+// acquired while L1 is must-held per the locks.go held-locks dataflow,
+// either directly at an acquisition site or at a call site whose callee
+// (transitively, over the static call graph) acquires L2. Goroutine bodies
+// from the spawn registry — `go` literals and closures handed to the
+// internal/par runtime — are analysis roots of their own, flowed from an
+// empty entry fact, so an inversion hidden inside a spawned closure still
+// contributes its edge. Every cycle in the graph is reported once as a
+// potential deadlock, with the full witness chain of acquisition sites
+// (function, file:line) so the report reads as the interleaving that hangs.
+//
+// On top of the graph the analyzer reports RLock-then-Lock upgrades on the
+// same canonical lock key: a goroutine holding the read side that requests
+// the write side self-deadlocks, because sync.RWMutex writers wait for all
+// readers — including the requester — to drain.
+//
+// Precision limits, by design: two instances of one lock class locked in
+// both orders (s1.mu then s2.mu vs s2.mu then s1.mu) collapse to a single
+// node and are not reported — ordering instances needs alias analysis;
+// acquisitions inside non-spawn function literals and deferred statements
+// are not edge sources (when they run, the spawner's held-set no longer
+// applies); and callee acquisition summaries follow resolved static calls
+// only. LINTING.md documents each trade-off.
+func LockOrder() *Analyzer {
+	return &Analyzer{
+		Name: "lockorder",
+		Doc: "builds the module-wide lock-ordering graph (L1→L2 when L2 is " +
+			"acquired under must-held L1, across calls and goroutine spawns) and " +
+			"reports every cycle with its witness chain, plus RLock→Lock upgrades",
+		Run: runLockOrder,
+	}
+}
+
+func runLockOrder(p *Pass) {
+	p.Prog.lockOrderFor().report(p)
+}
+
+// lockOrderFor returns the memoized module-wide lock-order analysis.
+func (pr *Program) lockOrderFor() *lockOrderAnalysis {
+	if pr.lockorderMemo == nil {
+		pr.lockorderMemo = buildLockOrder(pr)
+	}
+	return pr.lockorderMemo
+}
+
+// lockOrderEdge is one ordering edge with its first (deterministic) witness.
+type lockOrderEdge struct {
+	from, to *types.Var
+	pkg      *Package
+	pos      token.Pos // the acquisition or call site establishing the edge
+	where    string    // display name of the body holding `from`
+	via      string    // callee display name for call-site edges, else ""
+}
+
+// lockOrderFinding is one precomputed diagnostic, reported in pkg.
+type lockOrderFinding struct {
+	pkg *Package
+	pos token.Pos
+	msg string
+}
+
+// lockOrderAnalysis is the module-wide lock-ordering graph plus the findings
+// derived from it.
+type lockOrderAnalysis struct {
+	prog     *Program
+	display  map[*types.Var]string
+	edges    map[[2]*types.Var]*lockOrderEdge
+	acquires map[*types.Func]map[*types.Var]bool // transitive may-acquire
+	findings []lockOrderFinding
+}
+
+func buildLockOrder(prog *Program) *lockOrderAnalysis {
+	lo := &lockOrderAnalysis{
+		prog:    prog,
+		display: lockDisplayNames(prog),
+		edges:   map[[2]*types.Var]*lockOrderEdge{},
+	}
+	la := prog.lockguardFor()
+	lo.buildAcquires(la)
+
+	// Declared functions contribute edges under their fixpoint entry facts
+	// (suffix convention + call-site propagation, computed by lockguard).
+	for _, fi := range la.fns {
+		lo.collectEdges(fi.pkg, fi.fd.Body, la.must[fi.fd], funcDisplayName(fi.fd))
+	}
+	// Spawned literals are goroutine roots: their bodies flow from an empty
+	// entry fact (the spawner's held-set does not cross the spawn).
+	for _, sp := range prog.Spawns() {
+		if sp.Lit == nil {
+			continue
+		}
+		cfg := prog.CFG(sp.Lit.Body)
+		problem := &lockProblem{info: sp.Pkg.Info}
+		flow := &lockFlow{cfg: cfg, problem: problem, res: ForwardFlow(cfg, problem)}
+		lo.collectEdges(sp.Pkg, sp.Lit.Body, flow, sp.Label())
+	}
+
+	lo.findCycles()
+	return lo
+}
+
+// buildAcquires computes, per declared function, the set of lock classes it
+// may acquire directly or through its resolved callees — the summary that
+// lets a call site under a held lock contribute cross-function edges.
+// Acquisitions inside function literals and deferred statements are excluded
+// (they need not run within the call), as are callee edges from literals.
+func (lo *lockOrderAnalysis) buildAcquires(la *lockAnalysis) {
+	lo.acquires = map[*types.Func]map[*types.Var]bool{}
+	for _, fi := range la.fns {
+		direct := map[*types.Var]bool{}
+		ast.Inspect(fi.fd.Body, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncLit, *ast.DeferStmt:
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if key, op, ok := mutexOp(fi.pkg.Info, call); ok && (op == "Lock" || op == "RLock") {
+					direct[key.mutex] = true
+				}
+			}
+			return true
+		})
+		lo.acquires[fi.fn] = direct
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range la.fns {
+			set := lo.acquires[fi.fn]
+			for _, site := range lo.prog.Graph.ByCaller[fi.fn] {
+				if site.InLit {
+					continue
+				}
+				for m := range lo.acquires[site.Callee] {
+					if !set[m] {
+						set[m] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// collectEdges walks one body under its must-held flow and records ordering
+// edges at acquisition sites and at call sites whose callee may acquire.
+func (lo *lockOrderAnalysis) collectEdges(pkg *Package, body *ast.BlockStmt, flow *lockFlow, where string) {
+	info := pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, op, ok := mutexOp(info, call); ok {
+			if op != "Lock" && op != "RLock" {
+				return true
+			}
+			fact := flow.at(call)
+			if fact == nil {
+				return true // statically unreachable
+			}
+			if op == "Lock" && fact[key] == lockR {
+				lo.findings = append(lo.findings, lockOrderFinding{
+					pkg: pkg, pos: call.Pos(),
+					msg: fmt.Sprintf("%s is read-held when this Lock executes: RLock→Lock upgrade "+
+						"self-deadlocks (RWMutex writers wait for all readers, including this one); "+
+						"release the read lock first or take the write lock from the start", key),
+				})
+			}
+			lo.rememberDisplay(info, call, key)
+			for _, held := range sortedHeldKeys(fact) {
+				if held.mutex != key.mutex {
+					lo.addEdge(held.mutex, key.mutex, &lockOrderEdge{
+						from: held.mutex, to: key.mutex, pkg: pkg, pos: call.Pos(), where: where,
+					})
+				}
+			}
+			return true
+		}
+		callee, _ := calleeOf(info, call)
+		if callee == nil || len(lo.acquires[callee]) == 0 {
+			return true
+		}
+		fact := flow.at(call)
+		if len(fact) == 0 {
+			return true
+		}
+		for _, m2 := range sortedVars(lo.acquires[callee], lo.display) {
+			for _, held := range sortedHeldKeys(fact) {
+				if held.mutex != m2 {
+					lo.addEdge(held.mutex, m2, &lockOrderEdge{
+						from: held.mutex, to: m2, pkg: pkg, pos: call.Pos(), where: where,
+						via: callee.Name(),
+					})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// addEdge records e unless the edge already has a witness (first wins; the
+// collection order is deterministic, so so is the witness).
+func (lo *lockOrderAnalysis) addEdge(from, to *types.Var, e *lockOrderEdge) {
+	k := [2]*types.Var{from, to}
+	if lo.edges[k] == nil {
+		lo.edges[k] = e
+	}
+}
+
+// findCycles runs SCC detection over the ordering graph and emits one
+// finding per cyclic component, anchored at its lexicographically first
+// witness, carrying the full chain.
+func (lo *lockOrderAnalysis) findCycles() {
+	nodes := map[*types.Var]bool{}
+	succs := map[*types.Var][]*types.Var{}
+	for k := range lo.edges {
+		nodes[k[0]], nodes[k[1]] = true, true
+		succs[k[0]] = append(succs[k[0]], k[1])
+	}
+	order := sortedVars(nodes, lo.display)
+	for _, n := range order {
+		s := succs[n]
+		sort.Slice(s, func(i, j int) bool { return lo.name(s[i]) < lo.name(s[j]) })
+	}
+
+	for _, scc := range tarjanSCC(order, succs) {
+		if len(scc) < 2 {
+			continue
+		}
+		sort.Slice(scc, func(i, j int) bool { return lo.name(scc[i]) < lo.name(scc[j]) })
+		cycle := lo.shortestCycle(scc, succs)
+		if cycle == nil {
+			continue
+		}
+		var names []string
+		for _, v := range cycle {
+			names = append(names, lo.name(v))
+		}
+		names = append(names, lo.name(cycle[0]))
+		var chain []string
+		for i, v := range cycle {
+			next := cycle[(i+1)%len(cycle)]
+			e := lo.edges[[2]*types.Var{v, next}]
+			site := fmt.Sprintf("%s holds %s while acquiring %s", e.where, lo.name(v), lo.name(next))
+			if e.via != "" {
+				site += " via " + e.via
+			}
+			chain = append(chain, site+" at "+lo.shortPos(e.pkg, e.pos))
+		}
+		anchor := lo.edges[[2]*types.Var{cycle[0], cycle[1%len(cycle)]}]
+		lo.findings = append(lo.findings, lockOrderFinding{
+			pkg: anchor.pkg, pos: anchor.pos,
+			msg: fmt.Sprintf("lock-order cycle %s: concurrent goroutines taking these locks in "+
+				"opposite orders can deadlock; %s — pick one global order",
+				strings.Join(names, " → "), strings.Join(chain, "; ")),
+		})
+	}
+	sort.SliceStable(lo.findings, func(i, j int) bool {
+		if lo.findings[i].pkg != lo.findings[j].pkg {
+			return lo.findings[i].pkg.ImportPath < lo.findings[j].pkg.ImportPath
+		}
+		return lo.findings[i].pos < lo.findings[j].pos
+	})
+}
+
+// shortestCycle finds a minimal cycle through the first node of the SCC,
+// following edges restricted to the component.
+func (lo *lockOrderAnalysis) shortestCycle(scc []*types.Var, succs map[*types.Var][]*types.Var) []*types.Var {
+	in := map[*types.Var]bool{}
+	for _, v := range scc {
+		in[v] = true
+	}
+	start := scc[0]
+	// BFS from start back to start.
+	type path struct {
+		v    *types.Var
+		prev *path
+	}
+	queue := []*path{{v: start}}
+	seen := map[*types.Var]bool{}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, s := range succs[p.v] {
+			// Self-edges are never recorded, so reaching start again always
+			// closes a cycle of length ≥ 2.
+			if s == start {
+				// Reconstruct start → ... → p.v.
+				var rev []*types.Var
+				for q := p; q != nil; q = q.prev {
+					rev = append(rev, q.v)
+				}
+				out := make([]*types.Var, 0, len(rev))
+				for i := len(rev) - 1; i >= 0; i-- {
+					out = append(out, rev[i])
+				}
+				return out
+			}
+			if !in[s] || seen[s] {
+				continue
+			}
+			seen[s] = true
+			queue = append(queue, &path{v: s, prev: p})
+		}
+	}
+	return nil
+}
+
+// tarjanSCC returns the strongly connected components of the graph in a
+// deterministic order (nodes are visited in the given order).
+func tarjanSCC(order []*types.Var, succs map[*types.Var][]*types.Var) [][]*types.Var {
+	index := map[*types.Var]int{}
+	low := map[*types.Var]int{}
+	onStack := map[*types.Var]bool{}
+	var stack []*types.Var
+	var sccs [][]*types.Var
+	next := 0
+
+	var strongconnect func(v *types.Var)
+	strongconnect = func(v *types.Var) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succs[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []*types.Var
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range order {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return sccs
+}
+
+// name renders a lock class for messages ("Server.mu", "par.poolMu", or the
+// bare field name when the owner is unknown).
+func (lo *lockOrderAnalysis) name(v *types.Var) string {
+	if d := lo.display[v]; d != "" {
+		return d
+	}
+	return v.Name()
+}
+
+// shortPos renders pos as "file.go:line" — base name only, so messages stay
+// machine-independent.
+func (lo *lockOrderAnalysis) shortPos(pkg *Package, pos token.Pos) string {
+	p := pkg.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// rememberDisplay back-fills a display name for locks reached through
+// receivers whose type is unnamed or local (lockDisplayNames covers
+// package-scope types and variables).
+func (lo *lockOrderAnalysis) rememberDisplay(info *types.Info, call *ast.CallExpr, key lockKey) {
+	if lo.display[key.mutex] != "" {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if x, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+		if tv, ok := info.Types[x.X]; ok {
+			if owner := namedTypeName(tv.Type); owner != "" {
+				lo.display[key.mutex] = owner + "." + key.mutex.Name()
+			}
+		}
+	}
+}
+
+// lockDisplayNames maps every mutex declared at package scope — struct
+// fields and package-level variables — to a stable "Owner.name" display.
+func lockDisplayNames(prog *Program) map[*types.Var]string {
+	out := map[*types.Var]string{}
+	for _, pkg := range prog.All {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			switch obj := scope.Lookup(name).(type) {
+			case *types.TypeName:
+				st, ok := obj.Type().Underlying().(*types.Struct)
+				if !ok {
+					continue
+				}
+				for i := 0; i < st.NumFields(); i++ {
+					if f := st.Field(i); isMutexType(f.Type()) {
+						out[f] = obj.Name() + "." + f.Name()
+					}
+				}
+			case *types.Var:
+				if isMutexType(obj.Type()) {
+					out[obj] = pkg.Name + "." + obj.Name()
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sortedHeldKeys returns the keys of a lock fact ordered by their rendered
+// path, so witness selection never depends on map iteration.
+func sortedHeldKeys(fact lockFact) []lockKey {
+	keys := make([]lockKey, 0, len(fact))
+	for k := range fact {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	return keys
+}
+
+// sortedVars orders a var set by display name, then declaration position.
+func sortedVars(set map[*types.Var]bool, display map[*types.Var]string) []*types.Var {
+	out := make([]*types.Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := display[out[i]], display[out[j]]
+		if di == "" {
+			di = out[i].Name()
+		}
+		if dj == "" {
+			dj = out[j].Name()
+		}
+		if di != dj {
+			return di < dj
+		}
+		return out[i].Pos() < out[j].Pos()
+	})
+	return out
+}
+
+// report emits the findings that land in pass's package.
+func (lo *lockOrderAnalysis) report(p *Pass) {
+	for _, f := range lo.findings {
+		if f.pkg == p.Pkg {
+			p.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+}

@@ -209,3 +209,76 @@ func TestLockFlowBalanced(t *testing.T) {
 		t.Errorf("locks held at Exit = %v, want none", atExit)
 	}
 }
+
+// rwSrc exercises the RWMutex side of the substrate: an RLock-then-Lock
+// upgrade on one canonical key, and the clean release-then-relock shape.
+const rwSrc = `package p
+
+import "sync"
+
+type G struct {
+	rw sync.RWMutex
+	v  int
+}
+
+func upgrade(g *G) {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	g.rw.Lock()
+	g.v++
+	g.rw.Unlock()
+}
+
+func reacquire(g *G) {
+	g.rw.RLock()
+	v := g.v
+	g.rw.RUnlock()
+	g.rw.Lock()
+	g.v = v + 1
+	g.rw.Unlock()
+}
+`
+
+// TestLockFlowRWUpgrade pins the fact lockorder's upgrade check relies on:
+// at the Lock call of an RLock-then-Lock sequence on the same canonical path
+// the must flow shows the key read-held (the self-deadlock edge), while a
+// released-then-relocked sequence shows it free.
+func TestLockFlowRWUpgrade(t *testing.T) {
+	f, info, _ := typecheckSrc(t, rwSrc)
+
+	lockCallIn := func(name string) ast.Node {
+		var call ast.Node
+		ast.Inspect(funcBody(t, f, name), func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if _, op, ok := mutexOp(info, c); ok && op == "Lock" {
+					call = c
+				}
+			}
+			return true
+		})
+		if call == nil {
+			t.Fatalf("no Lock call in %s", name)
+		}
+		return call
+	}
+
+	cfg := BuildCFG(funcBody(t, f, "upgrade"))
+	problem := &lockProblem{info: info, entry: lockFact{}}
+	res := ForwardFlow(cfg, problem)
+	held := FactAt(cfg, problem, res, lockCallIn("upgrade")).(lockFact)
+	if len(held) != 1 {
+		t.Fatalf("facts at the upgrading Lock = %v, want g.rw read-held", held)
+	}
+	for k, m := range held {
+		if k.String() != "g.rw" || m != lockR {
+			t.Errorf("at the upgrading Lock: %s held in mode %v, want g.rw in lockR", k, m)
+		}
+	}
+
+	cfg = BuildCFG(funcBody(t, f, "reacquire"))
+	problem = &lockProblem{info: info, entry: lockFact{}}
+	res = ForwardFlow(cfg, problem)
+	if held := FactAt(cfg, problem, res, lockCallIn("reacquire")).(lockFact); len(held) != 0 {
+		t.Errorf("facts at the re-acquiring Lock = %v, want none (RUnlock released the read side)", held)
+	}
+}

@@ -31,6 +31,9 @@ type Program struct {
 	freshMemo       map[*ast.FuncDecl]*freshAnalysis
 	quiescedMemo    map[*types.Func]bool
 	lockguardMemo   *lockAnalysis
+	spawnsMemo      []*Spawn
+	lockorderMemo   *lockOrderAnalysis
+	chanlifeMemo    *chanLifeAnalysis
 }
 
 // newProgram assembles the Program for one Run invocation.

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Goroutine-spawn registry: the shared substrate for the cross-goroutine
+// analyzers (lockorder, chanlife). Every construct that puts a body on
+// another goroutine — a `go` statement spawning a literal or a named
+// function, and a closure handed to the internal/par runtime (whose workers
+// execute it concurrently) — becomes one Spawn record: an analysis root
+// whose body must be flowed from an empty entry fact (the spawner's
+// flow-sensitive state does not carry across the spawn) together with the
+// variables the body captures from its environment (the state the goroutines
+// actually share).
+
+// SpawnKind classifies how a spawned body comes to run concurrently.
+type SpawnKind uint8
+
+const (
+	// SpawnGo is a `go` statement: go f(...) or go func(){...}(...).
+	SpawnGo SpawnKind = iota
+	// SpawnPar is a closure handed to the internal/par runtime (par.For,
+	// par.ForReduce, pool.For, ...): the pool's persistent workers run it.
+	SpawnPar
+)
+
+// Spawn is one goroutine root in the module.
+type Spawn struct {
+	Pkg  *Package
+	Kind SpawnKind
+	// Encl is the function declaration whose body contains the spawn site.
+	Encl *ast.FuncDecl
+	// Site is the spawning node: the *ast.GoStmt, or the internal/par
+	// *ast.CallExpr the closure is an argument of.
+	Site ast.Node
+	// Lit is the spawned function literal; nil when a named function or
+	// method is spawned directly (go s.batchLoop()).
+	Lit *ast.FuncLit
+	// Callee is the resolved named callee for a non-literal `go f(...)`;
+	// nil for literals and for calls the call graph cannot resolve.
+	Callee *types.Func
+	// Captured lists the variables the literal references that are declared
+	// outside it — the state shared between spawner and spawned body — in
+	// declaration-position order. Empty for named callees (they share only
+	// their arguments and receiver).
+	Captured []*types.Var
+}
+
+// Label renders a human-readable name for the spawned body, anchored on the
+// enclosing declaration ("goroutine in (*Server).New", "par closure in
+// runBatch").
+func (s *Spawn) Label() string {
+	kind := "goroutine"
+	if s.Kind == SpawnPar {
+		kind = "par closure"
+	}
+	if s.Callee != nil {
+		return kind + " " + s.Callee.Name() + " spawned in " + funcDisplayName(s.Encl)
+	}
+	return kind + " in " + funcDisplayName(s.Encl)
+}
+
+// Spawns returns the memoized module-wide spawn registry in deterministic
+// (package import path, source position) order.
+func (pr *Program) Spawns() []*Spawn {
+	if pr.spawnsMemo == nil {
+		pr.spawnsMemo = collectSpawns(pr)
+		if pr.spawnsMemo == nil {
+			pr.spawnsMemo = []*Spawn{}
+		}
+	}
+	return pr.spawnsMemo
+}
+
+// collectSpawns walks every function declaration of the program and records
+// each goroutine root. A spawn nested inside a function literal is attributed
+// to the outermost enclosing declaration.
+func collectSpawns(pr *Program) []*Spawn {
+	var out []*Spawn
+	for _, pkg := range pr.All {
+		for _, fd := range funcDecls(pkg) {
+			if fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.GoStmt:
+					sp := &Spawn{Pkg: pkg, Kind: SpawnGo, Encl: fd, Site: x}
+					if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+						sp.Lit = lit
+						sp.Captured = capturedVars(pkg.Info, lit)
+					} else if fn, _ := calleeOf(pkg.Info, x.Call); fn != nil {
+						sp.Callee = fn
+					}
+					out = append(out, sp)
+				case *ast.CallExpr:
+					if !isParCall(pkg.Info, x) {
+						return true
+					}
+					for _, arg := range x.Args {
+						lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+						if !ok {
+							continue
+						}
+						out = append(out, &Spawn{
+							Pkg: pkg, Kind: SpawnPar, Encl: fd, Site: x,
+							Lit: lit, Captured: capturedVars(pkg.Info, lit),
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Pkg.ImportPath != out[j].Pkg.ImportPath {
+			return out[i].Pkg.ImportPath < out[j].Pkg.ImportPath
+		}
+		return out[i].Site.Pos() < out[j].Site.Pos()
+	})
+	return out
+}
+
+// capturedVars returns the variables lit references that are declared outside
+// its source range, in declaration-position order.
+func capturedVars(info *types.Info, lit *ast.FuncLit) []*types.Var {
+	seen := map[*types.Var]bool{}
+	var out []*types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := objectOf(info, id).(*types.Var)
+		if !ok || v.Name() == "_" || seen[v] {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			seen[v] = true
+			out = append(out, v)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}

@@ -11,9 +11,9 @@ echo "== go vet =="
 go vet ./...
 
 echo "== glignlint (concurrency + engine invariants) =="
-# The eleven project analyzers (atomicmix, cancelpath, clockdet, doclint,
-# hotalloc, kernelmono, lockguard, nilrecv, parcapture, staleignore,
-# waitjoin); LINTING.md documents each invariant. The driver first checks
+# The thirteen project analyzers (atomicmix, cancelpath, chanlife, clockdet,
+# doclint, hotalloc, kernelmono, lockguard, lockorder, nilrecv, parcapture,
+# staleignore, waitjoin); LINTING.md documents each invariant. The driver first checks
 # its own implementation and the command tree explicitly (the linter must
 # hold itself to the invariants it enforces), then the whole module. The
 # committed baseline pins the suppression counts so new suppressions show
@@ -35,8 +35,9 @@ for a in $(go run ./cmd/glignlint -help-analyzers | awk '{print $1}'); do
         echo "verify: analyzer $a has no fixture under cmd/glignlint/testdata/src/" >&2
         exit 1
     fi
-    if [ ! -f "cmd/glignlint/testdata/golden/$a.txt" ]; then
-        echo "verify: analyzer $a has no golden under cmd/glignlint/testdata/golden/" >&2
+    if [ ! -s "cmd/glignlint/testdata/golden/$a.txt" ]; then
+        echo "verify: analyzer $a has no non-empty golden under cmd/glignlint/testdata/golden/" >&2
+        echo "  (an empty golden means the fixture exercises nothing)" >&2
         exit 1
     fi
 done
@@ -53,7 +54,9 @@ for doc in $(grep -oh '[A-Z][A-Z_]*\.md' README.md ROADMAP.md | sort -u); do
 done
 
 echo "== go test =="
-go test ./...
+# -shuffle=on randomizes test (and fixture) execution order each run, so
+# any inter-test state dependence surfaces here instead of in CI roulette.
+go test -shuffle=on ./...
 
 echo "== serve e2e telemetry archive =="
 # Re-run the deterministic serving session with its telemetry snapshot

@@ -1,0 +1,39 @@
+// Package probe1 probes go-statement named-callee spawns under a held lock.
+package probe1
+
+import "sync"
+
+type left struct {
+	mu sync.Mutex
+	n  int
+}
+
+type right struct {
+	mu sync.Mutex
+	n  int
+}
+
+// spawnUnderLock holds l.mu only while spawning worker; the goroutine itself
+// never runs with l.mu held, so no l.mu -> r.mu ordering exists at runtime.
+func spawnUnderLock(l *left, r *right) {
+	l.mu.Lock()
+	go worker(r)
+	l.mu.Unlock()
+}
+
+// worker takes only the right lock.
+func worker(r *right) {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}
+
+// other takes r.mu then l.mu; combined with the spurious edge above this
+// would close a false cycle.
+func other(l *left, r *right) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l.mu.Lock()
+	l.n++
+	l.mu.Unlock()
+}

@@ -48,7 +48,7 @@ func run() error {
 		directed  = flag.Bool("directed", true, "treat -graph edge list as directed")
 		dataset   = flag.String("dataset", "", "synthetic dataset to generate (LJ, WP, UK2, TW, FR, RD-CA, RD-US)")
 		size      = flag.String("size", "small", "synthetic size class (tiny, small, medium)")
-		kernel    = flag.String("kernel", "SSSP", "query kernel (BFS, SSSP, SSWP, SSNP, Viterbi) or Heter")
+		kernel    = flag.String("kernel", "SSSP", "query kernel (BFS, SSSP, SSWP, SSNP, Viterbi, PageRank, LabelProp, KHOP or KHOP<k>) or Heter")
 		n         = flag.Int("n", 64, "number of queries (sources sampled with the paper's hop-bin strategy)")
 		sources   = flag.String("sources", "", "comma-separated explicit source vertices (overrides -n)")
 		queryFile = flag.String("queries", "", "load the query buffer from a file (overrides -kernel/-n/-sources)")

@@ -112,3 +112,96 @@ func (indirect) Relax(src Value, w float64) Value {
 }
 
 func (indirect) Better(a, b Value) bool { return a < b }
+
+// ConvergenceKernel mirrors the real iterate-to-convergence interface; its
+// presence (together with Monotone below) arms the paradigm-classification
+// tier.
+type ConvergenceKernel interface {
+	Kernel
+	InitialValue(n, v int) Value
+	Step(n int, self Value, nbrs []Value) Value
+	Residual(old, next Value) float64
+	Epsilon() float64
+	MaxRounds() int
+}
+
+// Good and NewSneaky exercise the registry resolver's ident and
+// constructor-call paths.
+var Good Kernel = good{}
+
+// NewSneaky constructs the alias-impure kernel.
+func NewSneaky() Kernel { return &sneaky{} }
+
+// Monotone mirrors the real monotone registry: every concrete Kernel type
+// must resolve from here or implement ConvergenceKernel.
+func Monotone() []Kernel {
+	return []Kernel{
+		Good,        // resolved through the var initializer
+		&bad{},      // address-taken composite literal
+		NewSneaky(), // resolved through the constructor's return
+		indirect{},  // plain composite literal
+		confused{},  // true positive: a ConvergenceKernel in the monotone registry
+	}
+}
+
+// smooth is a pure convergence kernel: true negative for both the purity and
+// the classification tiers.
+type smooth struct{}
+
+func (smooth) Identity() Value                  { return 0 }
+func (smooth) Relax(src Value, w float64) Value { return src + w }
+func (smooth) Better(a, b Value) bool           { return a < b }
+func (smooth) InitialValue(n, v int) Value      { return Value(v) }
+func (smooth) Residual(old, next Value) float64 { return next - old }
+func (smooth) Epsilon() float64                 { return 0.5 }
+func (smooth) MaxRounds() int                   { return 8 }
+
+func (smooth) Step(n int, self Value, nbrs []Value) Value {
+	s := self
+	for _, x := range nbrs {
+		if x < s {
+			s = x
+		}
+	}
+	return s
+}
+
+// rough is a convergence kernel whose Step mutates package state: true
+// positive for the convergence-method purity tier.
+var stepCount int64
+
+type rough struct{}
+
+func (rough) Identity() Value                  { return 0 }
+func (rough) Relax(src Value, w float64) Value { return src + w }
+func (rough) Better(a, b Value) bool           { return a < b }
+func (rough) InitialValue(n, v int) Value      { return Value(v) }
+func (rough) Residual(old, next Value) float64 { return next - old }
+func (rough) Epsilon() float64                 { return 0.5 }
+func (rough) MaxRounds() int                   { return 8 }
+
+func (rough) Step(n int, self Value, nbrs []Value) Value {
+	stepCount++ // true positive: non-local write inside a Jacobi step
+	return self
+}
+
+// confused is a pure convergence kernel mislisted in Monotone(): the
+// classification tier flags the registry entry, not the type.
+type confused struct{}
+
+func (confused) Identity() Value                         { return 0 }
+func (confused) Relax(src Value, w float64) Value        { return src + w }
+func (confused) Better(a, b Value) bool                  { return a < b }
+func (confused) InitialValue(n, v int) Value             { return Value(v) }
+func (confused) Step(n int, self Value, _ []Value) Value { return self }
+func (confused) Residual(old, next Value) float64        { return next - old }
+func (confused) Epsilon() float64                        { return 0.5 }
+func (confused) MaxRounds() int                          { return 8 }
+
+// stray implements Kernel but neither appears in Monotone() nor implements
+// ConvergenceKernel: true positive for the classification tier.
+type stray struct{}
+
+func (stray) Identity() Value                  { return 0 }
+func (stray) Relax(src Value, w float64) Value { return src + w }
+func (stray) Better(a, b Value) bool           { return a < b }

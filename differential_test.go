@@ -10,6 +10,7 @@ import (
 	"github.com/glign/glign/internal/align"
 	"github.com/glign/glign/internal/engine"
 	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/oracle"
 	"github.com/glign/glign/internal/par"
 	"github.com/glign/glign/internal/queries"
 	"github.com/glign/glign/internal/systems"
@@ -52,6 +53,14 @@ func caseSeed(base int64, name string) int64 {
 	return int64(h.Sum64() >> 1)
 }
 
+// repro renders the reproduction context every harness failure message
+// carries: the effective base seed (as the GLIGN_DIFF_SEED assignment that
+// replays the run) plus the case coordinates.
+func repro(base int64, graphName, kernel, method string, workers int) string {
+	return fmt.Sprintf("GLIGN_DIFF_SEED=%d graph=%s kernel=%s method=%s workers=%d",
+		base, graphName, kernel, method, workers)
+}
+
 // sampleSources draws count vertices with a splitmix-style generator seeded
 // by the case seed (no math/rand dependence, so the draw is stable across Go
 // releases).
@@ -83,7 +92,10 @@ func TestDifferentialAllMethods(t *testing.T) {
 		{"rmat-LJ", graph.MustGenerate(graph.LJ, graph.Tiny)},
 		{"road-CA", graph.MustGenerate(graph.RDCA, graph.Tiny)},
 	}
-	kernels := []queries.Kernel{queries.BFS, queries.SSSP, queries.SSWP, queries.SSNP, queries.Viterbi}
+	kernels := []queries.Kernel{
+		queries.BFS, queries.SSSP, queries.SSWP, queries.SSNP, queries.Viterbi,
+		queries.KHop(queries.DefaultKHopDepth),
+	}
 	base := diffBaseSeed(t)
 
 	// The serial reference is method- and worker-independent; cache it per
@@ -115,6 +127,7 @@ func TestDifferentialAllMethods(t *testing.T) {
 					name := fmt.Sprintf("%s/%s/%s/w%d", gc.name, k.Name(), method, workers)
 					seed := caseSeed(base, name)
 					t.Run(name, func(t *testing.T) {
+						ctx := repro(base, gc.name, k.Name(), method, workers)
 						srcs := sampleSources(seed, gc.g.NumVertices(), diffBatchSize)
 						buffer := make([]queries.Query, len(srcs))
 						for i, s := range srcs {
@@ -129,20 +142,113 @@ func TestDifferentialAllMethods(t *testing.T) {
 						}
 						res, err := systems.Run(method, gc.g, buffer, cfg)
 						if err != nil {
-							t.Fatalf("seed %d (GLIGN_DIFF_SEED=%d): %v", seed, base, err)
+							t.Fatalf("run failed: %v [case seed %d, %s]", err, seed, ctx)
 						}
 						for qi, q := range buffer {
 							want := refFor(gi, gc.g, k, q.Source)
 							got := res.Values[qi]
 							if len(got) != len(want) {
-								t.Fatalf("query %d (source v%d): %d values, want %d [seed %d, GLIGN_DIFF_SEED=%d]",
-									qi, q.Source, len(got), len(want), seed, base)
+								t.Fatalf("query %d (source v%d): %d values, want %d [case seed %d, %s]",
+									qi, q.Source, len(got), len(want), seed, ctx)
 							}
 							for v := range want {
 								if got[v] != want[v] {
-									t.Fatalf("query %d (source v%d) disagrees with reference at vertex %d: %v != %v [seed %d, GLIGN_DIFF_SEED=%d]",
-										qi, q.Source, v, got[v], want[v], seed, base)
+									t.Fatalf("query %d (source v%d) disagrees with reference at vertex %d: %v != %v [case seed %d, %s]",
+										qi, q.Source, v, got[v], want[v], seed, ctx)
 								}
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialConvergenceKernels is the convergence-paradigm leg of the
+// harness: PageRank and LabelProp run through every method with a Jacobi
+// route (all but GraphM and Congra, whose engines refuse the paradigm) and
+// must be bit-identical to the independent serial Jacobi golden — the
+// determinism the max-residual criterion and the in-neighbor fold-order
+// contract exist to provide. Every result additionally passes the oracle
+// invariants for its kernel.
+func TestDifferentialConvergenceKernels(t *testing.T) {
+	pool := par.NewPool(4)
+	defer pool.Close()
+
+	graphsUnderTest := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"rmat-LJ", graph.MustGenerate(graph.LJ, graph.Tiny)},
+		{"road-CA", graph.MustGenerate(graph.RDCA, graph.Tiny)},
+	}
+	var methods []string
+	for _, m := range Methods() {
+		if m == systems.GraphM || m == systems.Congra {
+			continue
+		}
+		methods = append(methods, m)
+	}
+	base := diffBaseSeed(t)
+
+	type refKey struct {
+		gi     int
+		kernel string
+		src    graph.VertexID
+	}
+	refCache := map[refKey][]queries.Value{}
+	refFor := func(gi int, g *graph.Graph, q queries.Query) []queries.Value {
+		key := refKey{gi, q.Kernel.Name(), q.Source}
+		if v, ok := refCache[key]; ok {
+			return v
+		}
+		v := oracle.GoldenValues(g, q)
+		refCache[key] = v
+		return v
+	}
+
+	for gi, gc := range graphsUnderTest {
+		prof := align.NewProfile(gc.g, align.DefaultHubCount, 0)
+		for _, ck := range queries.Convergent() {
+			k := queries.Kernel(ck)
+			for _, workers := range []int{1, 4} {
+				for _, method := range methods {
+					name := fmt.Sprintf("%s/%s/%s/w%d", gc.name, k.Name(), method, workers)
+					seed := caseSeed(base, name)
+					t.Run(name, func(t *testing.T) {
+						ctx := repro(base, gc.name, k.Name(), method, workers)
+						srcs := sampleSources(seed, gc.g.NumVertices(), diffBatchSize)
+						buffer := make([]queries.Query, len(srcs))
+						for i, s := range srcs {
+							buffer[i] = queries.Query{Kernel: k, Source: s}
+						}
+						res, err := systems.Run(method, gc.g, buffer, systems.Config{
+							BatchSize:  diffBatchSize,
+							Workers:    workers,
+							Pool:       pool,
+							Profile:    prof,
+							KeepValues: true,
+						})
+						if err != nil {
+							t.Fatalf("run failed: %v [case seed %d, %s]", err, seed, ctx)
+						}
+						for qi, q := range buffer {
+							want := refFor(gi, gc.g, q)
+							got := res.Values[qi]
+							if len(got) != len(want) {
+								t.Fatalf("query %d: %d values, want %d [case seed %d, %s]",
+									qi, len(got), len(want), seed, ctx)
+							}
+							for v := range want {
+								if got[v] != want[v] {
+									t.Fatalf("query %d (source v%d) disagrees with the Jacobi golden at vertex %d: %v != %v [case seed %d, %s]",
+										qi, q.Source, v, got[v], want[v], seed, ctx)
+								}
+							}
+							if vio := oracle.CheckResult(gc.g, q, got); len(vio) != 0 {
+								t.Fatalf("query %d violates oracle invariants: %+v [case seed %d, %s]",
+									qi, vio, seed, ctx)
 							}
 						}
 					})
@@ -166,6 +272,7 @@ func TestDifferentialDirectionOptimized(t *testing.T) {
 			name := fmt.Sprintf("%s/w%d", k.Name(), workers)
 			seed := caseSeed(base, "diropt/"+name)
 			t.Run(name, func(t *testing.T) {
+				ctx := repro(base, "rmat-LJ", k.Name(), systems.Glign+"(direction-optimized)", workers)
 				srcs := sampleSources(seed, g.NumVertices(), diffBatchSize)
 				buffer := make([]queries.Query, len(srcs))
 				for i, s := range srcs {
@@ -180,15 +287,15 @@ func TestDifferentialDirectionOptimized(t *testing.T) {
 					DirectionOptimized: true,
 				})
 				if err != nil {
-					t.Fatalf("seed %d (GLIGN_DIFF_SEED=%d): %v", seed, base, err)
+					t.Fatalf("run failed: %v [case seed %d, %s]", err, seed, ctx)
 				}
 				for qi, q := range buffer {
 					want := engine.ReferenceRun(g, q)
 					got := res.Values[qi]
 					for v := range want {
 						if got[v] != want[v] {
-							t.Fatalf("query %d (source v%d) disagrees at vertex %d: %v != %v [seed %d, GLIGN_DIFF_SEED=%d]",
-								qi, q.Source, v, got[v], want[v], seed, base)
+							t.Fatalf("query %d (source v%d) disagrees at vertex %d: %v != %v [case seed %d, %s]",
+								qi, q.Source, v, got[v], want[v], seed, ctx)
 						}
 					}
 				}

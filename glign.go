@@ -35,8 +35,8 @@ import (
 	"fmt"
 
 	"github.com/glign/glign/internal/align"
-	"github.com/glign/glign/internal/engine"
 	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/oracle"
 	"github.com/glign/glign/internal/par"
 	"github.com/glign/glign/internal/queries"
 	"github.com/glign/glign/internal/systems"
@@ -66,16 +66,27 @@ type (
 	GraphStats = graph.Stats
 )
 
-// The five query kernels of the paper's evaluation.
+// The five monotone query kernels of the paper's evaluation, plus the
+// iterate-to-convergence kernels (PageRank, LabelProp) this implementation
+// adds beyond the paper. Convergence kernels run synchronous Jacobi rounds
+// to a fixed point instead of monotone frontier relaxation; batches mixing
+// the two paradigms are split automatically before dispatch.
 var (
-	BFS     = queries.BFS
-	SSSP    = queries.SSSP
-	SSWP    = queries.SSWP
-	SSNP    = queries.SSNP
-	Viterbi = queries.Viterbi
+	BFS       = queries.BFS
+	SSSP      = queries.SSSP
+	SSWP      = queries.SSWP
+	SSNP      = queries.SSNP
+	Viterbi   = queries.Viterbi
+	PageRank  = queries.PageRank
+	LabelProp = queries.LabelProp
 )
 
-// KernelByName resolves "BFS", "SSSP", "SSWP", "SSNP" or "Viterbi".
+// KHop returns the monotone bounded-reachability kernel: hop distances up
+// to k, +Inf beyond. Its name is "KHOP<k>".
+func KHop(k int) Kernel { return queries.KHop(k) }
+
+// KernelByName resolves a kernel by name: "BFS", "SSSP", "SSWP", "SSNP",
+// "Viterbi", "PageRank", "LabelProp", "KHOP" (default depth) or "KHOP<k>".
 func KernelByName(name string) (Kernel, error) { return queries.ByName(name) }
 
 // Evaluation methods accepted by WithMethod, named as in the paper.
@@ -310,9 +321,11 @@ func (r *Runtime) Run(buffer []Query) (*Report, error) {
 }
 
 // Verify recomputes up to sample queries of the report (all, when sample
-// <= 0 or exceeds the buffer) with an independent serial label-correcting
-// reference and returns an error describing the first mismatch. All engines
-// compute exact fixed points, so any mismatch is a bug, not noise.
+// <= 0 or exceeds the buffer) with an independent serial golden evaluator —
+// label-correcting for monotone kernels, serial Jacobi for convergence
+// kernels — and returns an error describing the first mismatch. All engines
+// compute exact (and, for Jacobi, order-deterministic) fixed points, so any
+// mismatch is a bug, not noise.
 func (rep *Report) Verify(sample int) error {
 	if sample <= 0 || sample > len(rep.buffer) {
 		sample = len(rep.buffer)
@@ -322,7 +335,7 @@ func (rep *Report) Verify(sample int) error {
 		stride = 1
 	}
 	for i := 0; i < len(rep.buffer); i += stride {
-		want := engine.ReferenceRun(rep.g, rep.buffer[i])
+		want := oracle.GoldenValues(rep.g, rep.buffer[i])
 		got := rep.Values(i)
 		for v := range want {
 			if got[v] != want[v] {

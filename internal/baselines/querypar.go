@@ -23,6 +23,13 @@ func (QueryParallel) Name() string { return "Query-Parallel" }
 
 // Run implements core.Engine.
 func (QueryParallel) Run(g *graph.Graph, batch []queries.Query, opt core.Options) (*core.BatchResult, error) {
+	// Convergence kernels run one independent Jacobi evaluation per query.
+	// The parallelism moves inside each evaluation (engine.RunConvergence
+	// drives the pool itself) rather than across queries, because pool
+	// workers must not submit nested loops to the pool they run on.
+	if queries.AnyConvergent(batch) {
+		return core.RunConvergenceSequential(g, batch, opt)
+	}
 	st, err := core.PrepareBatch(g, batch, opt)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/glign/glign/internal/engine"
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/par"
+	"github.com/glign/glign/internal/queries"
+	"github.com/glign/glign/internal/telemetry"
+)
+
+// RunConvergenceBatch is the lane-fused Jacobi evaluator behind the batch
+// engines: one synchronized round recomputes every vertex for every
+// still-running lane from the previous round's in-neighbor values, with the
+// same interleaved v*B+i value layout the monotone engines use (one gather
+// of a neighbor touches all lanes' values contiguously). The batch must be
+// paradigm-homogeneous — every kernel a queries.ConvergenceKernel; the
+// batching layers split mixed buffers before routing.
+//
+// A lane freezes once its max per-vertex residual reaches the kernel's
+// Epsilon (or its MaxRounds cap, or Options.MaxIterations): frozen lanes
+// carry their values forward while the rest of the batch keeps iterating,
+// the convergence analogue of a lane's frontier draining.
+//
+// Options.Alignment is ignored: delayed start schedules frontier arrivals,
+// and a Jacobi round has no frontier. Options.Tracer is likewise ignored
+// (access tracing models the monotone push design). Per-vertex in-neighbor
+// folds run in reverse-CSR order, so the values are bit-identical to
+// RunConvergenceSequential's for every worker count.
+func RunConvergenceBatch(g *graph.Graph, batch []queries.Query, opt Options) (*BatchResult, error) {
+	b := len(batch)
+	if b == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	n := g.NumVertices()
+	kers := make([]queries.ConvergenceKernel, b)
+	eps := make([]float64, b)
+	caps := make([]int, b)
+	for i, q := range batch {
+		ck, ok := queries.ConvergentOf(q.Kernel)
+		if !ok {
+			return nil, fmt.Errorf("core: mixed-paradigm batch: query %d (%s) is monotone; split batches by paradigm before routing", i, q)
+		}
+		if int(q.Source) >= n {
+			return nil, fmt.Errorf("core: query %d source v%d out of range (n=%d)", i, q.Source, n)
+		}
+		kers[i] = ck
+		eps[i] = ck.Epsilon()
+		caps[i] = ck.MaxRounds()
+		if opt.MaxIterations > 0 && opt.MaxIterations < caps[i] {
+			caps[i] = opt.MaxIterations
+		}
+	}
+	geo := engine.NewConvergenceGeometry(g, opt.ReverseGraph)
+	pool := par.OrDefault(opt.Pool)
+	workers := opt.Workers
+
+	old := make([]queries.Value, n*b)
+	next := make([]queries.Value, n*b)
+	pool.For(n, workers, 0, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			base := v * b
+			for i := 0; i < b; i++ {
+				old[base+i] = kers[i].InitialValue(n, graph.VertexID(v), batch[i].Source)
+			}
+		}
+	})
+
+	res := &BatchResult{
+		B: b, N: n,
+		LaneRounds:    make([]int, b),
+		LaneConverged: make([]bool, b),
+		LaneResiduals: make([]float64, b),
+	}
+	sizes := make([]int, 0, iterCapHint(opt.MaxIterations))
+	done := make([]bool, b)
+	roundResid := make([]float64, b)
+	var mu sync.Mutex
+	for round, running := 0, b; running > 0; round++ {
+		for i := range roundResid {
+			roundResid[i] = 0
+		}
+		sizes = append(sizes, n)
+		var prev iterCounters
+		if opt.Telemetry != nil {
+			prev = countersOf(res)
+		}
+		pool.For(n, workers, 0, func(lo, hi int) {
+			scratch := engine.NewJacobiScratch(geo.MaxInDeg, b)
+			var edges, relaxes, writes int64
+			for v := lo; v < hi; v++ {
+				us, _ := geo.Rev.OutEdges(graph.VertexID(v))
+				for j, u := range us {
+					scratch.Degs[j] = geo.OutDeg[u]
+				}
+				edges += int64(len(us))
+				base := v * b
+				for i := 0; i < b; i++ {
+					if done[i] {
+						next[base+i] = old[base+i]
+						continue
+					}
+					for j, u := range us {
+						scratch.Nbrs[j] = old[int(u)*b+i]
+					}
+					nv := kers[i].Step(n, old[base+i], scratch.Nbrs[:len(us)], scratch.Degs[:len(us)])
+					next[base+i] = nv
+					if r := kers[i].Residual(old[base+i], nv); r > scratch.Resid[i] {
+						scratch.Resid[i] = r
+					}
+					if nv != old[base+i] {
+						writes++
+					}
+					relaxes += int64(len(us))
+				}
+			}
+			atomic.AddInt64(&res.EdgesProcessed, edges)
+			atomic.AddInt64(&res.LaneRelaxations, relaxes)
+			atomic.AddInt64(&res.ValueWrites, writes)
+			mu.Lock()
+			for i := 0; i < b; i++ {
+				if scratch.Resid[i] > roundResid[i] {
+					roundResid[i] = scratch.Resid[i]
+				}
+			}
+			mu.Unlock()
+		})
+		old, next = next, old
+		res.GlobalIterations++
+		active := running
+		for i := 0; i < b; i++ {
+			if done[i] {
+				continue
+			}
+			res.LaneRounds[i]++
+			res.LaneResiduals[i] = roundResid[i]
+			if roundResid[i] <= eps[i] {
+				done[i] = true
+				res.LaneConverged[i] = true
+				running--
+			} else if res.LaneRounds[i] >= caps[i] {
+				done[i] = true
+				running--
+			}
+		}
+		if opt.Telemetry != nil {
+			cur := countersOf(res)
+			injected := 0
+			if round == 0 {
+				injected = b
+			}
+			opt.Telemetry.RecordIteration(telemetry.IterationStat{
+				Iter:            round,
+				Query:           -1,
+				FrontierSize:    n,
+				Mode:            telemetry.ModeJacobi,
+				ActiveQueries:   active,
+				InjectedQueries: injected,
+				EdgesProcessed:  cur.edges - prev.edges,
+				LaneRelaxations: cur.relaxes - prev.relaxes,
+				ValueWrites:     cur.writes - prev.writes,
+			})
+		}
+	}
+	res.UnionFrontierSizes = sizes
+	vals := queries.NewValues(n*b, 0)
+	pool.For(n, workers, 0, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			base := v * b
+			for i := 0; i < b; i++ {
+				vals.Set(base+i, old[base+i])
+			}
+		}
+	})
+	res.Values = vals
+	return res, nil
+}
+
+// RunConvergenceSequential evaluates each convergence query of a batch
+// independently through engine.RunConvergence — the Ligra-S-style routing
+// with no cross-query sharing beyond the amortized graph reversal. Exported
+// so the query-parallel baseline shares the exact semantics.
+func RunConvergenceSequential(g *graph.Graph, batch []queries.Query, opt Options) (*BatchResult, error) {
+	b := len(batch)
+	if b == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	n := g.NumVertices()
+	rev := opt.ReverseGraph
+	if rev == nil && g.Directed {
+		rev = g.Reverse()
+	}
+	vals := queries.NewValues(n*b, 0)
+	res := &BatchResult{
+		B: b, N: n, Values: vals,
+		LaneRounds:    make([]int, b),
+		LaneConverged: make([]bool, b),
+		LaneResiduals: make([]float64, b),
+	}
+	for i, q := range batch {
+		ck, ok := queries.ConvergentOf(q.Kernel)
+		if !ok {
+			return nil, fmt.Errorf("core: mixed-paradigm batch: query %d (%s) is monotone; split batches by paradigm before routing", i, q)
+		}
+		r, err := engine.RunConvergence(g, q, engine.Options{
+			Workers:       opt.Workers,
+			Pool:          opt.Pool,
+			MaxIterations: opt.MaxIterations,
+			ReverseGraph:  rev,
+			Telemetry:     opt.Telemetry,
+			TelemetryLane: i,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for v := 0; v < n; v++ {
+			vals.Set(v*b+i, r.Values[v])
+		}
+		res.LaneRounds[i] = r.Iterations
+		res.LaneResiduals[i] = r.Residual
+		res.LaneConverged[i] = r.Residual <= ck.Epsilon()
+		if r.Iterations > res.GlobalIterations {
+			res.GlobalIterations = r.Iterations
+		}
+		// Atomic adds keep the counter protocol uniform with the concurrent
+		// engines (glignlint/atomicmix) even though this loop is sequential.
+		atomic.AddInt64(&res.EdgesProcessed, atomic.LoadInt64(&r.EdgesTraversed))
+		atomic.AddInt64(&res.LaneRelaxations, atomic.LoadInt64(&r.EdgesTraversed))
+		atomic.AddInt64(&res.ValueWrites, atomic.LoadInt64(&r.ValueWrites))
+		if len(r.FrontierSizes) > len(res.UnionFrontierSizes) {
+			res.UnionFrontierSizes = r.FrontierSizes
+		}
+	}
+	return res, nil
+}

@@ -64,6 +64,13 @@ type BatchResult struct {
 	// ValueWrites counts successful relaxations — value-array improvements
 	// actually installed (the write traffic behind paper §3.5's layout).
 	ValueWrites int64
+	// LaneRounds, LaneConverged and LaneResiduals describe
+	// iterate-to-convergence runs (all nil for monotone batches): per lane,
+	// the rounds executed, whether the max residual reached the kernel's
+	// Epsilon before the round cap, and the final max residual.
+	LaneRounds    []int
+	LaneConverged []bool
+	LaneResiduals []float64
 }
 
 // Value returns the final value of vertex v for query q.
@@ -124,6 +131,13 @@ func PrepareBatch(g *graph.Graph, batch []queries.Query, opt Options) (*BatchSet
 	for i, q := range batch {
 		if int(q.Source) >= n {
 			return nil, fmt.Errorf("core: query %d source v%d out of range (n=%d)", i, q.Source, n)
+		}
+		// Monotone setup is meaningless for iterate-to-convergence kernels
+		// (no identity fill, no CAS relaxation): engines with a Jacobi path
+		// route to RunConvergenceBatch before preparing, so reaching this
+		// check means the engine has none.
+		if _, ok := queries.ConvergentOf(q.Kernel); ok {
+			return nil, fmt.Errorf("core: query %d (%s) is an iterate-to-convergence kernel, which this engine does not support (route through Glign, Krill, Ligra-C, Ligra-S or Query-Parallel)", i, q)
 		}
 		st.Kernels[i] = q.Kernel
 		st.Identity[i] = q.Kernel.Identity()

@@ -28,6 +28,11 @@ var Krill Engine = krill{}
 func (krill) Name() string { return "Krill" }
 
 func (krill) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchResult, error) {
+	// Convergence kernels have no activation bitmask to fuse; route them to
+	// the shared lane-fused Jacobi evaluator (which has no 64-lane limit).
+	if queries.AnyConvergent(batch) {
+		return RunConvergenceBatch(g, batch, opt)
+	}
 	if len(batch) > frontier.MaxQueries {
 		return nil, fmt.Errorf("core: Krill engine supports at most %d queries per batch, got %d",
 			frontier.MaxQueries, len(batch))

@@ -20,6 +20,11 @@ var LigraS Engine = ligraS{}
 func (ligraS) Name() string { return "Ligra-S" }
 
 func (ligraS) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchResult, error) {
+	// Convergence kernels keep the sequential shape: one independent Jacobi
+	// evaluation per query, no sharing across queries.
+	if queries.AnyConvergent(batch) {
+		return RunConvergenceSequential(g, batch, opt)
+	}
 	st, err := PrepareBatch(g, batch, opt)
 	if err != nil {
 		return nil, err

@@ -139,6 +139,12 @@ func relaxGroup(st *BatchSetup, s *obliviousScratch, grp laneGroup, dbase int, w
 }
 
 func (oblivious) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchResult, error) {
+	// Iterate-to-convergence kernels have no frontier to unify; they take
+	// the lane-fused Jacobi path (which shares this engine's interleaved
+	// value layout). Batching layers split mixed buffers by paradigm.
+	if queries.AnyConvergent(batch) {
+		return RunConvergenceBatch(g, batch, opt)
+	}
 	st, err := PrepareBatch(g, batch, opt)
 	if err != nil {
 		return nil, err

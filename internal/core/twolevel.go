@@ -25,6 +25,11 @@ var LigraC Engine = twoLevel{}
 func (twoLevel) Name() string { return "Ligra-C" }
 
 func (twoLevel) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchResult, error) {
+	// Convergence kernels have no per-query frontiers to two-level; route
+	// them to the shared lane-fused Jacobi evaluator.
+	if queries.AnyConvergent(batch) {
+		return RunConvergenceBatch(g, batch, opt)
+	}
 	st, err := PrepareBatch(g, batch, opt)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/par"
+	"github.com/glign/glign/internal/queries"
+	"github.com/glign/glign/internal/telemetry"
+)
+
+// ConvergenceGeometry bundles the graph-shape precomputation every Jacobi
+// evaluation needs: the edge-reversed view the pull rounds walk, the
+// out-degree of every vertex (convergence kernels normalize by it), and the
+// maximum in-degree (sizes the per-worker gather scratch). It is exported so
+// internal/core's lane-fused batch evaluator shares the exact construction —
+// in-neighbor order must match bit-for-bit between the sequential and the
+// batched paths for their float results to be identical.
+type ConvergenceGeometry struct {
+	Rev      *graph.Graph
+	OutDeg   []int32
+	MaxInDeg int
+}
+
+// NewConvergenceGeometry derives the Jacobi geometry of g. A nil rev makes
+// it derive the reversed view itself (g when undirected, g.Reverse()
+// otherwise — both enumerate the in-neighbors of a vertex in ascending
+// source-vertex order, the order the determinism contract of
+// queries.ConvergenceKernel.Step is stated over).
+func NewConvergenceGeometry(g, rev *graph.Graph) *ConvergenceGeometry {
+	if rev == nil {
+		if g.Directed {
+			rev = g.Reverse()
+		} else {
+			rev = g
+		}
+	}
+	n := g.NumVertices()
+	geo := &ConvergenceGeometry{Rev: rev, OutDeg: make([]int32, n)}
+	for v := 0; v < n; v++ {
+		d := g.OutDegree(graph.VertexID(v))
+		geo.OutDeg[v] = int32(d)
+		if in := rev.OutDegree(graph.VertexID(v)); in > geo.MaxInDeg {
+			geo.MaxInDeg = in
+		}
+	}
+	return geo
+}
+
+// JacobiScratch is the per-worker gather scratch of one Jacobi chunk:
+// in-neighbor values and out-degrees sized to the maximum in-degree, plus
+// one residual accumulator per lane. Allocated once per worker chunk
+// through this constructor — the same scratch idiom as the monotone
+// engines' per-chunk state, and the shape hotalloc expects.
+type JacobiScratch struct {
+	Nbrs  []queries.Value
+	Degs  []int32
+	Resid []float64
+}
+
+// NewJacobiScratch sizes a scratch for maxIn in-neighbors and `lanes`
+// residual accumulators (zero-initialized).
+func NewJacobiScratch(maxIn, lanes int) *JacobiScratch {
+	return &JacobiScratch{
+		Nbrs:  make([]queries.Value, maxIn),
+		Degs:  make([]int32, maxIn),
+		Resid: make([]float64, lanes),
+	}
+}
+
+// atomicMaxFloat raises the float stored in *bits (as math.Float64bits) to
+// at least x — the lock-free max-merge worker chunks publish their local
+// residual maxima through.
+func atomicMaxFloat(bits *uint64, x float64) {
+	for {
+		old := atomic.LoadUint64(bits)
+		if math.Float64frombits(old) >= x {
+			return
+		}
+		if atomic.CompareAndSwapUint64(bits, old, math.Float64bits(x)) {
+			return
+		}
+	}
+}
+
+// RunConvergence evaluates a convergence-kernel query on g by synchronous
+// Jacobi iteration: every round recomputes all vertices from the previous
+// round's in-neighbor values (double-buffered — no CAS, no monotone
+// shortcut), and the run finishes when the maximum per-vertex residual drops
+// to the kernel's Epsilon or the kernel's MaxRounds cap hits. The
+// max-residual criterion is order-independent, so the convergence decision —
+// and, with the in-neighbor order contract, every float in Values — is
+// identical across worker counts.
+//
+// Options.Tracer and Options.RecordFrontiers are ignored: access tracing and
+// frontier affinity both model the monotone push design, which has no
+// counterpart here (every vertex is active every round).
+func RunConvergence(g *graph.Graph, q queries.Query, opt Options) (*Result, error) {
+	ck, ok := queries.ConvergentOf(q.Kernel)
+	if !ok {
+		return nil, fmt.Errorf("engine: kernel %s is not a convergence kernel", q.Kernel.Name())
+	}
+	n := g.NumVertices()
+	if int(q.Source) >= n {
+		return nil, fmt.Errorf("engine: source v%d out of range (n=%d)", q.Source, n)
+	}
+	geo := NewConvergenceGeometry(g, opt.ReverseGraph)
+	pool := par.OrDefault(opt.Pool)
+	workers := opt.Workers
+
+	old := make([]queries.Value, n)
+	next := make([]queries.Value, n)
+	pool.For(n, workers, 0, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			old[v] = ck.InitialValue(n, graph.VertexID(v), q.Source)
+		}
+	})
+
+	maxRounds := ck.MaxRounds()
+	if opt.MaxIterations > 0 && opt.MaxIterations < maxRounds {
+		maxRounds = opt.MaxIterations
+	}
+	eps := ck.Epsilon()
+	res := &Result{}
+	sizes := make([]int, 0, iterHintFor(maxRounds))
+	var residBits uint64
+	for round := 0; round < maxRounds; round++ {
+		sizes = append(sizes, n)
+		var prevEdges, prevWrites int64
+		if opt.Telemetry != nil {
+			prevEdges = atomic.LoadInt64(&res.EdgesTraversed)
+			prevWrites = atomic.LoadInt64(&res.ValueWrites)
+		}
+		atomic.StoreUint64(&residBits, 0)
+		pool.For(n, workers, 0, func(lo, hi int) {
+			scratch := NewJacobiScratch(geo.MaxInDeg, 1)
+			var edges, writes int64
+			localMax := 0.0
+			for v := lo; v < hi; v++ {
+				us, _ := geo.Rev.OutEdges(graph.VertexID(v))
+				for j, u := range us {
+					scratch.Nbrs[j] = old[u]
+					scratch.Degs[j] = geo.OutDeg[u]
+				}
+				nv := ck.Step(n, old[v], scratch.Nbrs[:len(us)], scratch.Degs[:len(us)])
+				next[v] = nv
+				if r := ck.Residual(old[v], nv); r > localMax {
+					localMax = r
+				}
+				if nv != old[v] {
+					writes++
+				}
+				edges += int64(len(us))
+			}
+			atomic.AddInt64(&res.EdgesTraversed, edges)
+			atomic.AddInt64(&res.VerticesProcessed, int64(hi-lo))
+			atomic.AddInt64(&res.ValueWrites, writes)
+			atomicMaxFloat(&residBits, localMax)
+		})
+		maxResid := math.Float64frombits(atomic.LoadUint64(&residBits))
+		old, next = next, old
+		res.Iterations++
+		if opt.Telemetry != nil {
+			iterEdges := atomic.LoadInt64(&res.EdgesTraversed) - prevEdges
+			opt.Telemetry.RecordIteration(telemetry.IterationStat{
+				Iter:            round,
+				Query:           opt.TelemetryLane,
+				FrontierSize:    n,
+				Mode:            telemetry.ModeJacobi,
+				ActiveQueries:   1,
+				EdgesProcessed:  iterEdges,
+				LaneRelaxations: iterEdges,
+				ValueWrites:     atomic.LoadInt64(&res.ValueWrites) - prevWrites,
+			})
+		}
+		res.Residual = maxResid
+		if maxResid <= eps {
+			break
+		}
+	}
+	res.FrontierSizes = sizes
+	res.Values = old
+	return res, nil
+}
+
+// iterHintFor caps the FrontierSizes preallocation: convergence runs record
+// one entry per round, and a round cap in the thousands should not reserve
+// kilobytes up front for runs that converge in tens of rounds.
+func iterHintFor(maxRounds int) int {
+	if maxRounds > 256 {
+		return 256
+	}
+	return maxRounds
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -29,20 +30,27 @@ var valuesMutators = map[string]bool{
 	"Improve": true, "ImproveMin": true, "ImproveMax": true,
 }
 
-// KernelMono enforces the two relaxation invariants of the queries package:
+// KernelMono enforces the three kernel invariants of the queries package:
 // (1) the Values.bits array is only touched inside the approved accessor/CAS
 // helpers, so no code path can install a value without the monotone
-// "write if better" protocol; (2) Kernel implementations (Relax, Better,
-// Identity, SourceValue, Name) are pure — no writes to non-local state (even
-// through local pointer aliases), no sync/atomic calls, no Values mutations,
-// and no calls to module helpers the interprocedural purity summary marks
-// impure — because engines invoke them from every worker on every edge with
-// no synchronization of their own.
+// "write if better" protocol; (2) kernel implementations — the monotone
+// methods (Relax, Better, Identity, SourceValue, Name) and the
+// iterate-to-convergence methods (InitialValue, Step, Residual, Epsilon,
+// MaxRounds) — are pure: no writes to non-local state (even through local
+// pointer aliases), no sync/atomic calls, no Values mutations, and no calls
+// to module helpers the interprocedural purity summary marks impure —
+// because engines invoke them from every worker on every edge (or every
+// vertex per Jacobi round) with no synchronization of their own; (3) every
+// named type implementing Kernel declares its evaluation paradigm: it is
+// either resolvable from the Monotone() registry or implements
+// ConvergenceKernel, and no ConvergenceKernel hides in the monotone
+// registry — engines dispatch on this classification, so an unclassified
+// kernel has no sound evaluation path.
 func KernelMono() *Analyzer {
 	return &Analyzer{
 		Name: "kernelmono",
 		Doc: "checks queries kernels relax only through the approved CAS " +
-			"helpers and stay pure",
+			"helpers, stay pure, and declare their evaluation paradigm",
 		Run: runKernelMono,
 	}
 }
@@ -53,6 +61,7 @@ func runKernelMono(p *Pass) {
 	}
 	checkBitsConfinement(p)
 	checkKernelPurity(p)
+	checkParadigmClassification(p)
 }
 
 // checkBitsConfinement flags any use of the Values.bits field outside the
@@ -91,25 +100,54 @@ var kernelMethodNames = map[string]bool{
 	"Name": true, "Identity": true, "SourceValue": true, "Relax": true, "Better": true,
 }
 
-// checkKernelPurity flags impure statements inside Kernel implementations.
-func checkKernelPurity(p *Pass) {
-	scope := p.Pkg.Types.Scope()
-	iobj := scope.Lookup("Kernel")
-	if iobj == nil {
-		return
+// convKernelMethodNames are the ConvergenceKernel methods whose
+// implementations must be pure: the Jacobi evaluators call Step on every
+// vertex of every round from every worker, under the same no-synchronization
+// contract as Relax.
+var convKernelMethodNames = map[string]bool{
+	"InitialValue": true, "Step": true, "Residual": true, "Epsilon": true, "MaxRounds": true,
+}
+
+// ifaceNamed looks a package-scope interface up by name (nil when absent or
+// not an interface).
+func ifaceNamed(pkg *types.Package, name string) *types.Interface {
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil {
+		return nil
 	}
-	iface, ok := iobj.Type().Underlying().(*types.Interface)
-	if !ok {
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// implementsEither reports whether t or *t implements iface.
+func implementsEither(t types.Type, iface *types.Interface) bool {
+	return iface != nil && (types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface))
+}
+
+// checkKernelPurity flags impure statements inside Kernel and
+// ConvergenceKernel implementations.
+func checkKernelPurity(p *Pass) {
+	iface := ifaceNamed(p.Pkg.Types, "Kernel")
+	convIface := ifaceNamed(p.Pkg.Types, "ConvergenceKernel")
+	if iface == nil {
 		return
 	}
 	info := p.Pkg.Info
 	impure := p.Prog.Impurity()
 	for _, fd := range funcDecls(p.Pkg) {
-		if fd.Recv == nil || fd.Body == nil || !kernelMethodNames[fd.Name.Name] {
+		name := fd.Name.Name
+		if fd.Recv == nil || fd.Body == nil || !(kernelMethodNames[name] || convKernelMethodNames[name]) {
 			continue
 		}
 		rt := info.Types[fd.Recv.List[0].Type].Type
-		if rt == nil || !(types.Implements(rt, iface) || types.Implements(types.NewPointer(rt), iface)) {
+		if rt == nil {
+			continue
+		}
+		// The two method-name sets are disjoint, so exactly one gate applies.
+		if kernelMethodNames[name] && !implementsEither(rt, iface) {
+			continue
+		}
+		if convKernelMethodNames[name] && !implementsEither(rt, convIface) {
 			continue
 		}
 		declName := funcDisplayName(fd)
@@ -169,6 +207,150 @@ func checkKernelPurity(p *Pass) {
 			return true
 		})
 	}
+}
+
+// checkParadigmClassification enforces the kernel registry contract stated
+// on queries.Monotone(): every named type implementing Kernel either
+// resolves from Monotone()'s return list or implements ConvergenceKernel
+// (and never both roles at once). The check runs only when the package has
+// the full registry shape — a Kernel interface, a ConvergenceKernel
+// interface, and a Monotone function — so partial mirrors stay silent.
+func checkParadigmClassification(p *Pass) {
+	iface := ifaceNamed(p.Pkg.Types, "Kernel")
+	convIface := ifaceNamed(p.Pkg.Types, "ConvergenceKernel")
+	mono := topLevelFunc(p.Pkg, "Monotone")
+	if iface == nil || convIface == nil || mono == nil || mono.Body == nil {
+		return
+	}
+	info := p.Pkg.Info
+
+	// Resolve the concrete named types reachable from Monotone()'s return
+	// expressions: identifiers through their package-level var initializers,
+	// constructor calls through the callee's return statements, composite
+	// literals directly. Unresolvable elements (interface-typed with no
+	// visible initializer) are skipped, never guessed.
+	approved := map[*types.Named]bool{}
+	var resolve func(e ast.Expr, seen map[*types.Func]bool) *types.Named
+	resolve = func(e ast.Expr, seen map[*types.Func]bool) *types.Named {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if init := varInitExpr(p.Pkg, x.Name); init != nil {
+				return resolve(init, seen)
+			}
+		case *ast.UnaryExpr:
+			return resolve(x.X, seen)
+		case *ast.CallExpr:
+			callee, _ := calleeOf(info, x)
+			fd := p.Prog.Graph.DeclOf[callee]
+			if callee == nil || fd == nil || fd.Body == nil || seen[callee] {
+				return nil
+			}
+			seen[callee] = true
+			var named *types.Named
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok || named != nil {
+					return named == nil
+				}
+				for _, r := range ret.Results {
+					if nt := resolve(r, seen); nt != nil {
+						named = nt
+					}
+				}
+				return true
+			})
+			return named
+		default:
+			if tv, ok := info.Types[e]; ok && tv.Type != nil {
+				return namedOf(tv.Type)
+			}
+		}
+		return nil
+	}
+	ast.Inspect(mono.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for _, elt := range lit.Elts {
+			named := resolve(elt, map[*types.Func]bool{})
+			if named == nil {
+				continue
+			}
+			approved[named] = true
+			if implementsEither(named, convIface) {
+				p.Reportf(elt.Pos(),
+					"Monotone() lists %s, which implements ConvergenceKernel; "+
+						"iterate-to-convergence kernels belong in Convergent() — the two "+
+						"paradigms have disjoint evaluation paths",
+					named.Obj().Name())
+			}
+		}
+		return true
+	})
+
+	// Every remaining concrete Kernel type must carry one paradigm.
+	scope := p.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if !implementsEither(named, iface) {
+			continue
+		}
+		if approved[named] || implementsEither(named, convIface) {
+			continue
+		}
+		p.Reportf(tn.Pos(),
+			"kernel type %s implements Kernel but neither resolves from the "+
+				"Monotone() registry nor implements ConvergenceKernel; an "+
+				"unclassified kernel has no evaluation paradigm and no engine may "+
+				"run it",
+			name)
+	}
+}
+
+// topLevelFunc finds the package-level function decl with the given name.
+func topLevelFunc(pkg *Package, name string) *ast.FuncDecl {
+	for _, fd := range funcDecls(pkg) {
+		if fd.Recv == nil && fd.Name.Name == name {
+			return fd
+		}
+	}
+	return nil
+}
+
+// varInitExpr finds the initializer expression of the package-level var with
+// the given name (nil when absent or declared without a value).
+func varInitExpr(pkg *Package, name string) ast.Expr {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if id.Name == name && i < len(vs.Values) {
+						return vs.Values[i]
+					}
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // lookupField finds the named field of a named struct type in pkg.

@@ -1,0 +1,77 @@
+package oracle
+
+import (
+	"fmt"
+
+	"github.com/glign/glign/internal/graph"
+)
+
+// CheckGraph certifies the structural sanity of a CSR graph: well-formed
+// offsets and targets (no dangling CSR offsets, via Validate), the
+// degree-sum accounting sum(outdeg) == |stored arcs|, and for undirected
+// graphs the mirror-arc symmetry that makes degree-sum equal 2·|E|
+// (per-vertex in-degree == out-degree and an even arc count).
+func CheckGraph(g *graph.Graph) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	n := g.NumVertices()
+	sum := 0
+	for v := 0; v < n; v++ {
+		sum += g.OutDegree(graph.VertexID(v))
+	}
+	if sum != g.NumEdges() {
+		return fmt.Errorf("oracle: degree sum %d != stored arc count %d", sum, g.NumEdges())
+	}
+	if !g.Directed {
+		if g.NumEdges()%2 != 0 {
+			return fmt.Errorf("oracle: undirected graph stores an odd arc count %d (mirror arcs missing)", g.NumEdges())
+		}
+		indeg := make([]int, n)
+		for _, t := range g.Targets {
+			indeg[t]++
+		}
+		for v := 0; v < n; v++ {
+			if indeg[v] != g.OutDegree(graph.VertexID(v)) {
+				return fmt.Errorf("oracle: undirected v%d has in-degree %d != out-degree %d (asymmetric edge set)",
+					v, indeg[v], g.OutDegree(graph.VertexID(v)))
+			}
+		}
+	}
+	return nil
+}
+
+// SmokeRMAT is the distribution smoke check for R-MAT-style power-law
+// generators: a heavy tail must exist (max out-degree at least 4x the
+// average — the generated tiny graphs sit near 30x). A generator bug that
+// flattens the skew breaks every locality claim benchmarked on the graph.
+func SmokeRMAT(g *graph.Graph) error {
+	avg := g.AvgDegree()
+	if avg <= 0 {
+		return fmt.Errorf("oracle: R-MAT graph %q has no edges", g.Name)
+	}
+	_, maxd := g.MaxOutDegree()
+	if float64(maxd) < 4*avg {
+		return fmt.Errorf("oracle: R-MAT graph %q lacks a heavy tail: max out-degree %d < 4x avg %.2f",
+			g.Name, maxd, avg)
+	}
+	return nil
+}
+
+// SmokeRoad is the distribution smoke check for road-network generators:
+// undirected, bounded degree (grids top out at 4 plus diagonal extras; 16
+// is a generous ceiling), and non-empty. A road graph with a hub is not a
+// road graph.
+func SmokeRoad(g *graph.Graph) error {
+	if g.Directed {
+		return fmt.Errorf("oracle: road graph %q is directed", g.Name)
+	}
+	_, maxd := g.MaxOutDegree()
+	if maxd == 0 {
+		return fmt.Errorf("oracle: road graph %q has no edges", g.Name)
+	}
+	if maxd > 16 {
+		return fmt.Errorf("oracle: road graph %q has a degree-%d hub; road networks are bounded-degree", g.Name, maxd)
+	}
+	return nil
+}

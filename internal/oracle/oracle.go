@@ -1,0 +1,81 @@
+package oracle
+
+import (
+	"fmt"
+
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/queries"
+)
+
+// Invariant is one independently-coded validity certificate over a query's
+// result vector. Check returns nil when vals satisfies the invariant on g
+// and a descriptive error naming the first witness otherwise.
+type Invariant interface {
+	// Name is the stable identifier recorded in violations and reports
+	// ("sssp-triangle", "convergence-residual", ...).
+	Name() string
+	// Check certifies the result vector vals (one value per vertex) of
+	// query q evaluated on g.
+	Check(g *graph.Graph, q queries.Query, vals []queries.Value) error
+}
+
+// HopBounded is implemented by kernels whose traversal is truncated at a
+// hop bound (queries.KHop); the bound selects the reachability oracles.
+type HopBounded interface {
+	HopBound() int
+}
+
+// Violation is one failed invariant check, ready for the JSON report.
+type Violation struct {
+	Invariant string `json:"invariant"`
+	Query     string `json:"query"`
+	Detail    string `json:"detail"`
+}
+
+// ForKernel returns the invariant set certifying results of kernel k:
+// the generic monotone certificates (source value, fixed point,
+// justification) plus the kernel-specific ones the shape of k's values
+// admits, or the convergence certificates for iterate-to-convergence
+// kernels.
+func ForKernel(k queries.Kernel) []Invariant {
+	if _, ok := queries.ConvergentOf(k); ok {
+		invs := []Invariant{convergenceResidual{}}
+		switch k.Name() {
+		case queries.PageRank.Name():
+			invs = append(invs, pagerankMass{})
+		case queries.LabelProp.Name():
+			invs = append(invs, labelpropValid{})
+		}
+		return invs
+	}
+	invs := []Invariant{sourceValue{}, fixedPoint{}, supported{}}
+	if hb, ok := k.(HopBounded); ok {
+		return append(invs, khopRange{k: hb.HopBound()}, khopReach{k: hb.HopBound()})
+	}
+	switch k.Name() {
+	case queries.BFS.Name():
+		invs = append(invs, bfsLevels{})
+	case queries.SSSP.Name():
+		invs = append(invs, ssspTriangle{})
+	}
+	return invs
+}
+
+// CheckResult runs every invariant of q's kernel against vals and returns
+// the violations (empty means certified).
+func CheckResult(g *graph.Graph, q queries.Query, vals []queries.Value) []Violation {
+	if len(vals) != g.NumVertices() {
+		return []Violation{{
+			Invariant: "value-shape",
+			Query:     q.String(),
+			Detail:    fmt.Sprintf("result has %d values for an n=%d graph", len(vals), g.NumVertices()),
+		}}
+	}
+	var out []Violation
+	for _, inv := range ForKernel(q.Kernel) {
+		if err := inv.Check(g, q, vals); err != nil {
+			out = append(out, Violation{Invariant: inv.Name(), Query: q.String(), Detail: err.Error()})
+		}
+	}
+	return out
+}

@@ -1,0 +1,333 @@
+package oracle
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/queries"
+)
+
+var (
+	graphOnce sync.Once
+	ljTiny    *graph.Graph
+	roadTiny  *graph.Graph
+)
+
+func testGraphs(t *testing.T) (*graph.Graph, *graph.Graph) {
+	t.Helper()
+	graphOnce.Do(func() {
+		ljTiny = graph.MustGenerate(graph.LJ, graph.Tiny)
+		roadTiny = graph.MustGenerate(graph.RDCA, graph.Tiny)
+	})
+	return ljTiny, roadTiny
+}
+
+// goldenFor caches golden vectors per kernel name so the mutation table
+// reuses one evaluation per kernel.
+var (
+	goldenMu    sync.Mutex
+	goldenCache = map[string][]queries.Value{}
+)
+
+func golden(t *testing.T, g *graph.Graph, q queries.Query) []queries.Value {
+	t.Helper()
+	key := g.Name + "/" + q.String()
+	goldenMu.Lock()
+	defer goldenMu.Unlock()
+	if v, ok := goldenCache[key]; ok {
+		return v
+	}
+	v := GoldenValues(g, q)
+	goldenCache[key] = v
+	return v
+}
+
+func assertCertified(t *testing.T, g *graph.Graph, q queries.Query, vals []queries.Value) {
+	t.Helper()
+	if vio := CheckResult(g, q, vals); len(vio) != 0 {
+		t.Fatalf("%s on %s: golden result violates its own invariants: %+v", q, g.Name, vio)
+	}
+}
+
+// TestInvariantsCertifyGoldenResults pins the other half of the oracle
+// contract: a correct result must produce zero violations for every kernel,
+// monotone and convergent, on both graph families — an oracle that always
+// fails is as useless as one that cannot.
+func TestInvariantsCertifyGoldenResults(t *testing.T) {
+	lj, road := testGraphs(t)
+	kernels := queries.Monotone()
+	for _, ck := range queries.Convergent() {
+		kernels = append(kernels, ck)
+	}
+	for _, g := range []*graph.Graph{lj, road} {
+		for _, k := range kernels {
+			q := queries.Query{Kernel: k, Source: 1}
+			assertCertified(t, g, q, golden(t, g, q))
+		}
+	}
+}
+
+// pickVictim returns a vertex with a finite value that is not the source.
+func pickVictim(t *testing.T, vals []queries.Value, src graph.VertexID, pred func(v int, x queries.Value) bool) int {
+	t.Helper()
+	for v, x := range vals {
+		if v == int(src) || math.IsInf(x, 1) || math.IsInf(x, -1) {
+			continue
+		}
+		if pred == nil || pred(v, x) {
+			return v
+		}
+	}
+	t.Fatalf("no finite victim vertex found")
+	return -1
+}
+
+func hasInvariant(vio []Violation, name string) bool {
+	for _, v := range vio {
+		if v.Invariant == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMutationsAreCaught seeds one deliberate corruption per row into a
+// golden result and asserts the named invariant detects it. Every invariant
+// the harness relies on appears at least once as the expected catcher.
+func TestMutationsAreCaught(t *testing.T) {
+	lj, _ := testGraphs(t)
+	cases := []struct {
+		name   string
+		kernel queries.Kernel
+		mutate func(t *testing.T, q queries.Query, vals []queries.Value)
+		expect string
+	}{
+		{
+			name:   "bfs off-by-one level up",
+			kernel: queries.BFS,
+			mutate: func(t *testing.T, q queries.Query, vals []queries.Value) {
+				v := pickVictim(t, vals, q.Source, func(_ int, x queries.Value) bool { return x > 0 })
+				vals[v]++
+			},
+			expect: "bfs-levels",
+		},
+		{
+			name:   "bfs level too good",
+			kernel: queries.BFS,
+			mutate: func(t *testing.T, q queries.Query, vals []queries.Value) {
+				v := pickVictim(t, vals, q.Source, func(_ int, x queries.Value) bool { return x > 1 })
+				vals[v]--
+			},
+			expect: "supported",
+		},
+		{
+			name:   "bfs source corrupted",
+			kernel: queries.BFS,
+			mutate: func(t *testing.T, q queries.Query, vals []queries.Value) {
+				vals[q.Source] = 2
+			},
+			expect: "source-value",
+		},
+		{
+			name:   "sssp negative distance",
+			kernel: queries.SSSP,
+			mutate: func(t *testing.T, q queries.Query, vals []queries.Value) {
+				v := pickVictim(t, vals, q.Source, nil)
+				vals[v] = -1
+			},
+			expect: "sssp-triangle",
+		},
+		{
+			name:   "sssp stale distance",
+			kernel: queries.SSSP,
+			mutate: func(t *testing.T, q queries.Query, vals []queries.Value) {
+				v := pickVictim(t, vals, q.Source, func(_ int, x queries.Value) bool { return x > 0 })
+				vals[v] += 0.5
+			},
+			expect: "sssp-triangle",
+		},
+		{
+			name:   "sswp capacity degraded",
+			kernel: queries.SSWP,
+			mutate: func(t *testing.T, q queries.Query, vals []queries.Value) {
+				v := pickVictim(t, vals, q.Source, func(_ int, x queries.Value) bool { return x > 0 })
+				vals[v] *= 0.5
+			},
+			expect: "fixed-point",
+		},
+		{
+			name:   "viterbi probability inflated",
+			kernel: queries.Viterbi,
+			mutate: func(t *testing.T, q queries.Query, vals []queries.Value) {
+				// Viterbi's identity is 0, so "finite" is not enough: pick a
+				// genuinely reached vertex and inflate it past any
+				// justification.
+				v := pickVictim(t, vals, q.Source, func(_ int, x queries.Value) bool { return x > 0 })
+				vals[v] *= 1.5
+			},
+			expect: "supported",
+		},
+		{
+			name:   "khop beyond the hop bound",
+			kernel: queries.KHop(queries.DefaultKHopDepth),
+			mutate: func(t *testing.T, q queries.Query, vals []queries.Value) {
+				v := pickVictim(t, vals, q.Source, nil)
+				vals[v] = queries.Value(queries.DefaultKHopDepth + 1)
+			},
+			expect: "khop-range",
+		},
+		{
+			name:   "khop reachable vertex dropped",
+			kernel: queries.KHop(queries.DefaultKHopDepth),
+			mutate: func(t *testing.T, q queries.Query, vals []queries.Value) {
+				v := pickVictim(t, vals, q.Source, func(_ int, x queries.Value) bool { return x > 0 })
+				vals[v] = math.Inf(1)
+			},
+			expect: "khop-reach",
+		},
+		{
+			name:   "pagerank mass shifted",
+			kernel: queries.PageRank,
+			mutate: func(t *testing.T, q queries.Query, vals []queries.Value) {
+				v := pickVictim(t, vals, q.Source, nil)
+				vals[v] *= 2
+			},
+			expect: "convergence-residual",
+		},
+		{
+			name:   "pagerank negative rank",
+			kernel: queries.PageRank,
+			mutate: func(t *testing.T, q queries.Query, vals []queries.Value) {
+				v := pickVictim(t, vals, q.Source, nil)
+				vals[v] = -0.01
+			},
+			expect: "pagerank-mass",
+		},
+		{
+			name:   "labelprop stale label",
+			kernel: queries.LabelProp,
+			mutate: func(t *testing.T, q queries.Query, vals []queries.Value) {
+				// A vertex that adopted a smaller id reverts to its initial
+				// own id — exactly the stale write a lost update produces.
+				v := pickVictim(t, vals, q.Source, func(v int, x queries.Value) bool { return x < queries.Value(v) })
+				vals[v] = queries.Value(v)
+			},
+			expect: "convergence-residual",
+		},
+		{
+			name:   "labelprop label out of range",
+			kernel: queries.LabelProp,
+			mutate: func(t *testing.T, q queries.Query, vals []queries.Value) {
+				v := pickVictim(t, vals, q.Source, nil)
+				vals[v] = queries.Value(v) + 1
+			},
+			expect: "labelprop-valid",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := queries.Query{Kernel: tc.kernel, Source: 1}
+			clean := golden(t, lj, q)
+			vals := make([]queries.Value, len(clean))
+			copy(vals, clean)
+			tc.mutate(t, q, vals)
+			vio := CheckResult(lj, q, vals)
+			if len(vio) == 0 {
+				t.Fatalf("corruption %q produced zero violations — the oracle cannot fail", tc.name)
+			}
+			if !hasInvariant(vio, tc.expect) {
+				t.Fatalf("corruption %q: expected invariant %q among violations, got %+v", tc.name, tc.expect, vio)
+			}
+		})
+	}
+}
+
+// TestValueShapeViolation pins the cheap dimension check that guards every
+// other invariant.
+func TestValueShapeViolation(t *testing.T) {
+	lj, _ := testGraphs(t)
+	q := queries.Query{Kernel: queries.BFS, Source: 1}
+	vio := CheckResult(lj, q, make([]queries.Value, 3))
+	if len(vio) != 1 || vio[0].Invariant != "value-shape" {
+		t.Fatalf("short value vector: want one value-shape violation, got %+v", vio)
+	}
+}
+
+// TestDatasetChecks certifies the generators and proves the dataset oracles
+// can fail: each smoke check accepts its own family and rejects the other,
+// and a seeded structural corruption trips CheckGraph.
+func TestDatasetChecks(t *testing.T) {
+	lj, road := testGraphs(t)
+	if err := CheckGraph(lj); err != nil {
+		t.Fatalf("CheckGraph(%s): %v", lj.Name, err)
+	}
+	if err := CheckGraph(road); err != nil {
+		t.Fatalf("CheckGraph(%s): %v", road.Name, err)
+	}
+	if err := SmokeRMAT(lj); err != nil {
+		t.Fatalf("SmokeRMAT(%s): %v", lj.Name, err)
+	}
+	if err := SmokeRoad(road); err != nil {
+		t.Fatalf("SmokeRoad(%s): %v", road.Name, err)
+	}
+	if err := SmokeRoad(lj); err == nil {
+		t.Fatalf("SmokeRoad accepted the power-law graph %s", lj.Name)
+	}
+	if err := SmokeRMAT(road); err == nil {
+		t.Fatalf("SmokeRMAT accepted the road graph %s", road.Name)
+	}
+
+	// A directed edge set presented as undirected breaks degree symmetry.
+	asym := *lj
+	asym.Directed = false
+	if err := CheckGraph(&asym); err == nil {
+		t.Fatalf("CheckGraph accepted an asymmetric graph flagged undirected")
+	}
+
+	// A dangling CSR target must trip the structural check.
+	broken := *road
+	broken.Targets = append([]graph.VertexID(nil), road.Targets...)
+	broken.Targets[0] = graph.VertexID(road.NumVertices() + 7)
+	if err := CheckGraph(&broken); err == nil {
+		t.Fatalf("CheckGraph accepted a dangling CSR target")
+	}
+}
+
+// TestKHopDistancesGoldenWalk sanity-checks the golden walk itself on a
+// hand-checkable structure: hop distances on the road grid from vertex 0.
+func TestKHopDistancesGoldenWalk(t *testing.T) {
+	_, road := testGraphs(t)
+	const k = 2
+	dist := KHopDistances(road, 0, k)
+	if dist[0] != 0 {
+		t.Fatalf("dist[src] = %d, want 0", dist[0])
+	}
+	seen := 0
+	for v, d := range dist {
+		if d < 0 {
+			continue
+		}
+		seen++
+		if d > k {
+			t.Fatalf("dist[v%d] = %d exceeds the hop bound %d", v, d, k)
+		}
+		if d > 0 {
+			// Some in-neighbor must sit exactly one hop closer.
+			ok := false
+			for _, u := range road.OutNeighbors(graph.VertexID(v)) {
+				if dist[u] == d-1 {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("dist[v%d] = %d has no neighbor at distance %d", v, d, d-1)
+			}
+		}
+	}
+	if seen < 2 {
+		t.Fatalf("golden walk reached only %d vertices", seen)
+	}
+}

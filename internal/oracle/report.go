@@ -1,0 +1,71 @@
+package oracle
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// SchemaVersion identifies the report wire format.
+const SchemaVersion = "glign.oracle/v1"
+
+// GraphReport records the dataset-level checks of one generated graph.
+type GraphReport struct {
+	Graph      string      `json:"graph"`
+	Checks     []string    `json:"checks"`
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// CaseReport records the invariant checks of one (method, query) result.
+type CaseReport struct {
+	Graph      string      `json:"graph"`
+	Method     string      `json:"method"`
+	Query      string      `json:"query"`
+	Invariants []string    `json:"invariants"`
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// Report is the archived outcome of one oracle-harness sweep
+// (results/oracle-report.json in verify.sh).
+type Report struct {
+	Schema          string        `json:"schema"`
+	Graphs          []GraphReport `json:"graphs"`
+	Cases           []CaseReport  `json:"cases"`
+	TotalViolations int           `json:"total_violations"`
+}
+
+// NewReport returns an empty report with the current schema stamp.
+func NewReport() *Report {
+	return &Report{Schema: SchemaVersion}
+}
+
+// Finalize recounts TotalViolations from the recorded sections.
+func (r *Report) Finalize() {
+	total := 0
+	for _, g := range r.Graphs {
+		total += len(g.Violations)
+	}
+	for _, c := range r.Cases {
+		total += len(c.Violations)
+	}
+	r.TotalViolations = total
+}
+
+// WriteFile finalizes the report and writes it as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	r.Finalize()
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// InvariantNames lists the invariant identifiers a kernel's result is
+// checked against — the Invariants column of a CaseReport.
+func InvariantNames(invs []Invariant) []string {
+	names := make([]string, len(invs))
+	for i, inv := range invs {
+		names[i] = inv.Name()
+	}
+	return names
+}

@@ -3,6 +3,8 @@ package queries
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 
 	"github.com/glign/glign/internal/graph"
 )
@@ -110,12 +112,30 @@ func HeterogeneousSet() []Kernel {
 	return []Kernel{BFS, SSSP, SSWP, SSNP}
 }
 
-// ByName looks a kernel up by its canonical name (case-sensitive).
+// ByName looks a kernel up by its canonical name (case-sensitive). Beyond
+// the five monotone paper kernels it resolves the convergence kernels
+// ("PageRank", "LabelProp") and depth-parameterized reachability ("KHOP"
+// for the default depth, or "KHOP<d>" such as "KHOP4").
 func ByName(name string) (Kernel, error) {
 	for _, k := range All() {
 		if k.Name() == name {
 			return k, nil
 		}
+	}
+	for _, ck := range Convergent() {
+		if ck.Name() == name {
+			return ck, nil
+		}
+	}
+	if name == "KHOP" {
+		return KHop(DefaultKHopDepth), nil
+	}
+	if d := strings.TrimPrefix(name, "KHOP"); d != name {
+		k, err := strconv.Atoi(d)
+		if err != nil || k < 0 {
+			return nil, fmt.Errorf("queries: bad KHop depth in kernel name %q", name)
+		}
+		return KHop(k), nil
 	}
 	return nil, fmt.Errorf("queries: unknown kernel %q", name)
 }

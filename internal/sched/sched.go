@@ -162,6 +162,40 @@ func Select(buffer []queries.Query, batch []int) []queries.Query {
 	return out
 }
 
+// SplitParadigm refines a batching into paradigm-homogeneous batches:
+// within each batch, monotone-kernel queries keep their relative order and
+// stay together, and iterate-to-convergence queries split off into a
+// trailing batch of their own. Engines accept only homogeneous batches
+// (monotone CAS relaxation and Jacobi rounds share no evaluation state), so
+// every policy's output passes through this before reaching an engine.
+// Batches that are already homogeneous come back unchanged.
+func SplitParadigm(buffer []queries.Query, batches [][]int) [][]int {
+	out := make([][]int, 0, len(batches))
+	for _, idx := range batches {
+		conv := 0
+		for _, qi := range idx {
+			if _, ok := queries.ConvergentOf(buffer[qi].Kernel); ok {
+				conv++
+			}
+		}
+		if conv == 0 || conv == len(idx) {
+			out = append(out, idx)
+			continue
+		}
+		mono := make([]int, 0, len(idx)-conv)
+		jac := make([]int, 0, conv)
+		for _, qi := range idx {
+			if _, ok := queries.ConvergentOf(buffer[qi].Kernel); ok {
+				jac = append(jac, qi)
+			} else {
+				mono = append(mono, qi)
+			}
+		}
+		out = append(out, mono, jac)
+	}
+	return out
+}
+
 // MaxDisplacement returns how far any query moved from its arrival position
 // — the reordering bound the batching window enforces (at most Window-1).
 func MaxDisplacement(batches [][]int) int {

@@ -603,7 +603,10 @@ func (s *Server) flush(buf []*slot, trig flushTrigger) {
 	for i, sl := range live {
 		qs[i] = sl.query
 	}
-	for _, idx := range s.plan.Policy.MakeBatches(qs, s.cfg.BatchSize) {
+	// SplitParadigm keeps every dispatched batch paradigm-homogeneous: a
+	// live queue can interleave monotone and iterate-to-convergence queries
+	// arbitrarily, but engines evaluate the two under disjoint paths.
+	for _, idx := range sched.SplitParadigm(qs, s.plan.Policy.MakeBatches(qs, s.cfg.BatchSize)) {
 		fb := &formedBatch{slots: make([]*slot, len(idx))}
 		for i, bi := range idx {
 			fb.slots[i] = live[bi]
@@ -656,7 +659,8 @@ func (s *Server) runBatch(fb *formedBatch) {
 		seqs[i] = sl.seq
 	}
 	opt := core.Options{Workers: s.cfg.Workers, Pool: s.cfg.Pool}
-	if s.plan.Aligned {
+	if s.plan.Aligned && !queries.AnyConvergent(qs) {
+		// Convergence batches have no frontier for delayed start to align.
 		opt.Alignment = s.prof.AlignmentVector(qs)
 	}
 	if s.cfg.DirectionOptimized && s.prof != nil && s.plan.Engine.Name() == core.GlignIntra.Name() {

@@ -199,7 +199,11 @@ func Run(method string, g *graph.Graph, buffer []queries.Query, cfg Config) (*Re
 	}
 
 	start := time.Now()
-	res.Batches = plan.policy.MakeBatches(buffer, cfg.BatchSize)
+	// Paradigm splitting keeps every batch homogeneous: monotone frontier
+	// kernels and iterate-to-convergence kernels take different evaluation
+	// paths inside every engine, so a mixed buffer yields one batch per
+	// paradigm run rather than a mixed batch no engine accepts.
+	res.Batches = sched.SplitParadigm(buffer, plan.policy.MakeBatches(buffer, cfg.BatchSize))
 	res.Alignments = make([][]int, len(res.Batches))
 	for bi, idx := range res.Batches {
 		batch := sched.Select(buffer, idx)
@@ -207,7 +211,9 @@ func Run(method string, g *graph.Graph, buffer []queries.Query, cfg Config) (*Re
 		if cfg.DirectionOptimized && plan.engine.Name() == core.GlignIntra.Name() {
 			opt.ReverseGraph = prof.Rev
 		}
-		if plan.aligned {
+		if plan.aligned && !queries.AnyConvergent(batch) {
+			// Delayed start schedules frontier arrivals; convergence batches
+			// have no frontier, so their alignment vector stays nil.
 			opt.Alignment = prof.AlignmentVector(batch)
 			res.Alignments[bi] = opt.Alignment
 		}

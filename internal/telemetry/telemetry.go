@@ -172,6 +172,10 @@ const (
 	// ModePull marks a dense iteration run in pull mode over the reversed
 	// graph (the direction optimization of internal/core's hybrid engine).
 	ModePull = "pull"
+	// ModeJacobi marks one all-vertices round of an iterate-to-convergence
+	// (non-monotone) evaluation — every vertex recomputes from its
+	// in-neighbors' previous-round values.
+	ModeJacobi = "jacobi"
 )
 
 // IterationStat is one global-iteration record — the per-iteration
@@ -187,7 +191,7 @@ type IterationStat struct {
 	// FrontierSize is |frontier| entering the iteration (the unified
 	// frontier for batch engines, the per-query frontier otherwise).
 	FrontierSize int `json:"frontier_size"`
-	// Mode is ModePush or ModePull.
+	// Mode is ModePush, ModePull or ModeJacobi.
 	Mode string `json:"mode"`
 	// ActiveQueries counts the queries whose delayed start has arrived
 	// (alignment offset <= Iter).

@@ -90,8 +90,9 @@ func Heter(sources []graph.VertexID, seed int64) []queries.Query {
 	return buf
 }
 
-// BufferFor returns the buffer for a named workload: one of the five kernel
-// names or "Heter".
+// BufferFor returns the buffer for a named workload: any kernel name
+// queries.ByName resolves (the five monotone paper kernels, the convergence
+// kernels "PageRank"/"LabelProp", "KHOP"/"KHOP<d>") or "Heter".
 func BufferFor(name string, sources []graph.VertexID, seed int64) ([]queries.Query, error) {
 	if name == "Heter" {
 		return Heter(sources, seed), nil

@@ -36,6 +36,7 @@ func TestServeMatchesOffline(t *testing.T) {
 			name := fmt.Sprintf("%s/%s", method, k.Name())
 			seed := caseSeed(base, "serve/"+name)
 			t.Run(name, func(t *testing.T) {
+				ctx := repro(base, "rmat-LJ", k.Name(), method, 4)
 				srcs := sampleSources(seed, g.NumVertices(), serveDiffStream)
 				// Keep the stream duplicate-free: in-flight dedup would
 				// coalesce repeats into one admission slot, making the
@@ -65,7 +66,7 @@ func TestServeMatchesOffline(t *testing.T) {
 					KeepValues: true,
 				})
 				if err != nil {
-					t.Fatalf("offline run: %v [seed %d, GLIGN_DIFF_SEED=%d]", seed, base, err)
+					t.Fatalf("offline run: %v [case seed %d, %s]", err, seed, ctx)
 				}
 
 				// Online: stream the same queries through a live server.
@@ -81,14 +82,14 @@ func TestServeMatchesOffline(t *testing.T) {
 					Clock:         clk,
 				})
 				if err != nil {
-					t.Fatalf("serve.New: %v [seed %d, GLIGN_DIFF_SEED=%d]", seed, base, err)
+					t.Fatalf("serve.New: %v [case seed %d, %s]", seed, base, err)
 				}
 				streamPass := func(label string) []*serve.Ticket {
 					tickets := make([]*serve.Ticket, len(buffer))
 					for i, q := range buffer {
 						tk, err := srv.Submit(context.Background(), q)
 						if err != nil {
-							t.Fatalf("%s submit %d: %v [seed %d, GLIGN_DIFF_SEED=%d]", label, i, err, seed, base)
+							t.Fatalf("%s submit %d: %v [case seed %d, %s]", label, i, err, seed, ctx)
 						}
 						tickets[i] = tk
 					}
@@ -98,18 +99,18 @@ func TestServeMatchesOffline(t *testing.T) {
 					for i, tk := range tickets {
 						got, err := tk.Wait(context.Background())
 						if err != nil {
-							t.Fatalf("%s query %d (source v%d): %v [seed %d, GLIGN_DIFF_SEED=%d]",
-								label, i, buffer[i].Source, err, seed, base)
+							t.Fatalf("%s query %d (source v%d): %v [case seed %d, %s]",
+								label, i, buffer[i].Source, err, seed, ctx)
 						}
 						want := res.Values[i]
 						if len(got) != len(want) {
-							t.Fatalf("%s query %d (source v%d): %d values, want %d [seed %d, GLIGN_DIFF_SEED=%d]",
-								label, i, buffer[i].Source, len(got), len(want), seed, base)
+							t.Fatalf("%s query %d (source v%d): %d values, want %d [case seed %d, %s]",
+								label, i, buffer[i].Source, len(got), len(want), seed, ctx)
 						}
 						for v := range want {
 							if got[v] != want[v] {
-								t.Fatalf("%s query %d (source v%d) served != offline at vertex %d: %v != %v [seed %d, GLIGN_DIFF_SEED=%d]",
-									label, i, buffer[i].Source, v, got[v], want[v], seed, base)
+								t.Fatalf("%s query %d (source v%d) served != offline at vertex %d: %v != %v [case seed %d, %s]",
+									label, i, buffer[i].Source, v, got[v], want[v], seed, ctx)
 							}
 						}
 					}
@@ -130,23 +131,23 @@ func TestServeMatchesOffline(t *testing.T) {
 				pass2 := streamPass("cached pass")
 				checkPass("cached pass", pass2)
 				if err := srv.Close(); err != nil {
-					t.Fatalf("close: %v [seed %d, GLIGN_DIFF_SEED=%d]", err, seed, base)
+					t.Fatalf("close: %v [case seed %d, %s]", err, seed, ctx)
 				}
 				st := srv.Stats()
 				if st.Batches != batchesComputed {
-					t.Errorf("cached pass executed %d extra batches [seed %d, GLIGN_DIFF_SEED=%d]",
-						st.Batches-batchesComputed, seed, base)
+					t.Errorf("cached pass executed %d extra batches [case seed %d, %s]",
+						st.Batches-batchesComputed, seed, ctx)
 				}
 				if st.CacheHits == 0 {
-					t.Errorf("cached pass recorded no cache hits [seed %d, GLIGN_DIFF_SEED=%d]", seed, base)
+					t.Errorf("cached pass recorded no cache hits [case seed %d, %s]", seed, ctx)
 				}
 				for i, tk1 := range pass1 {
 					v1, _ := tk1.Wait(context.Background())
 					v2, _ := pass2[i].Wait(context.Background())
 					for v := range v1 {
 						if v1[v] != v2[v] {
-							t.Fatalf("cached query %d differs from computed at vertex %d: %v != %v [seed %d, GLIGN_DIFF_SEED=%d]",
-								i, v, v2[v], v1[v], seed, base)
+							t.Fatalf("cached query %d differs from computed at vertex %d: %v != %v [case seed %d, %s]",
+								i, v, v2[v], v1[v], seed, ctx)
 						}
 					}
 				}

@@ -65,10 +65,21 @@ GLIGN_SERVE_TELEMETRY_OUT="$PWD/results/serve-telemetry.json" \
     go test ./internal/serve/ -run TestServeEndToEndSession -count=1
 test -s results/serve-telemetry.json
 
+echo "== benchmark-validity oracle =="
+# Certify every kernel (monotone + convergence) x {Glign, Ligra-S} x both
+# graph families against the first-principles invariants of internal/oracle
+# and archive the certification report — EXPERIMENTS.md's validity section.
+# The leg fails on any invariant violation or dataset sanity failure.
+GLIGN_ORACLE_OUT="$PWD/results/oracle-report.json" \
+    go test . -run TestOracleHarness -count=1
+test -s results/oracle-report.json
+
 echo "== go test -race (concurrent packages) =="
 # Every package with worker-pool or CAS concurrency, including the
-# internal/core stress test (concurrent batches x GOMAXPROCS 1/2/8) and the
-# live serving loop's deterministic-clock suite (internal/serve).
+# internal/core stress test (concurrent batches x GOMAXPROCS 1/2/8), the
+# Jacobi convergence evaluators (internal/core, internal/engine,
+# internal/queries), and the live serving loop's deterministic-clock suite
+# (internal/serve, now including the convergence/KHop e2e).
 go test -race \
     ./internal/core/ \
     ./internal/engine/ \

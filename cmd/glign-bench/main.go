@@ -12,7 +12,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +20,7 @@ import (
 
 	"github.com/glign/glign/internal/bench"
 	"github.com/glign/glign/internal/graph"
+	"github.com/glign/glign/internal/perf"
 	"github.com/glign/glign/internal/telemetry"
 )
 
@@ -127,11 +127,10 @@ func run() error {
 		fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
 	}
 	if *metricOut != "" {
-		raw, err := json.MarshalIndent(cfg.Telemetry.Snapshot(), "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(*metricOut, append(raw, '\n'), 0o644); err != nil {
+		// Same temp-file+rename path the perf harness uses for its reports: a
+		// run killed mid-write never leaves a truncated artifact where CI (or
+		// a dashboard tailing the file) would read garbage.
+		if err := perf.WriteJSONAtomic(*metricOut, cfg.Telemetry.Snapshot()); err != nil {
 			return err
 		}
 		c := cfg.Telemetry.Counters.Snapshot()

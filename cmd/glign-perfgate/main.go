@@ -1,0 +1,290 @@
+// Command glign-perfgate runs the measured-performance tier: it executes the
+// benchmark matrix of internal/perf (methods x kernels x graphs x workers,
+// warmup + repetitions, median-of-reps) and diffs the resulting
+// glign.bench/v1 report against a committed baseline, exactly as the lint
+// baseline pins the suppression counts. verify.sh runs `glign-perfgate
+// -check`; a hot-path regression beyond the noise tolerance fails the build.
+//
+// Modes:
+//
+//	glign-perfgate                                  # run matrix, print report summary
+//	glign-perfgate -out results/bench-report.json   # run and archive the report
+//	glign-perfgate -write-baseline results/bench-baseline.json
+//	glign-perfgate -check                           # run + diff against -baseline, exit 1 on regression
+//	glign-perfgate -check -bench BENCH_PR10.json    # also pin the committed artifact's schema+shape
+//	glign-perfgate -diff old.json new.json          # offline diff of two reports
+//
+// Environment knobs (CI overrides without editing verify.sh):
+//
+//	GLIGN_PERF_TOLERANCE   relative noise tolerance (e.g. 0.75)
+//	GLIGN_PERF_SKIP=1      skip the gate entirely (exit 0)
+//
+// Gating guards: cells with workers > 1 are advisory on a 1-CPU box
+// (scheduling overhead, not parallel speedup), and all time comparisons are
+// advisory when the environment fingerprints differ; schema version and
+// matrix shape are enforced unconditionally. Regressed cells are re-measured
+// once with more repetitions before the gate fails, so a background-noise
+// spike on a shared box does not fail CI.
+//
+// Exit codes: 0 pass (or skipped), 1 regression/shape/schema failure,
+// 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/glign/glign/internal/perf"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		check         = flag.Bool("check", false, "run the matrix and diff against -baseline; exit 1 on regression")
+		baselinePath  = flag.String("baseline", "results/bench-baseline.json", "committed baseline report")
+		writeBaseline = flag.String("write-baseline", "", "run the matrix and write the baseline to this path")
+		out           = flag.String("out", "", "archive the fresh report to this path")
+		benchArtifact = flag.String("bench", "", "also pin this committed artifact's schema and matrix shape against the baseline")
+		diffMode      = flag.Bool("diff", false, "offline mode: diff two report files (args: baseline current)")
+		tolerance     = flag.Float64("tolerance", -1, "relative noise tolerance (default 0.75, or GLIGN_PERF_TOLERANCE)")
+		remeasure     = flag.Int("remeasure", 5, "re-measure regressed cells with this many reps before failing (0 disables)")
+		warmup        = flag.Int("warmup", -1, "warmup runs per cell (default from matrix config)")
+		reps          = flag.Int("reps", -1, "measured runs per cell (default from matrix config)")
+		size          = flag.String("size", "", "graph size class: tiny, small, medium")
+		batch         = flag.Int("batch", 0, "queries per buffer")
+		seed          = flag.Int64("seed", 0, "source-sampler seed")
+		methodsCSV    = flag.String("methods", "", "restrict matrix methods (comma-separated)")
+		kernelsCSV    = flag.String("kernels", "", "restrict matrix kernels (comma-separated)")
+		graphsCSV     = flag.String("graphs", "", "restrict matrix graphs (comma-separated)")
+		workersCSV    = flag.String("workers", "", "restrict matrix worker counts (comma-separated)")
+	)
+	flag.Parse()
+
+	if os.Getenv("GLIGN_PERF_SKIP") == "1" {
+		fmt.Println("glign-perfgate: skipped (GLIGN_PERF_SKIP=1)")
+		return 0
+	}
+
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "glign-perfgate: -diff needs exactly two report paths")
+			return 2
+		}
+		return diffFiles(flag.Arg(0), flag.Arg(1), *tolerance)
+	}
+
+	cfg := perf.DefaultConfig()
+	if *size != "" {
+		cfg.Size = *size
+	}
+	if *batch > 0 {
+		cfg.BatchSize = *batch
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *warmup >= 0 {
+		cfg.Warmup = *warmup
+	}
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+	if *methodsCSV != "" {
+		cfg.Methods = splitCSV(*methodsCSV)
+	}
+	if *kernelsCSV != "" {
+		cfg.Kernels = splitCSV(*kernelsCSV)
+	}
+	if *graphsCSV != "" {
+		cfg.Graphs = splitCSV(*graphsCSV)
+	}
+	if *workersCSV != "" {
+		ws, err := splitInts(*workersCSV)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "glign-perfgate:", err)
+			return 2
+		}
+		cfg.Workers = ws
+	}
+
+	runner, err := perf.NewRunner(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "glign-perfgate:", err)
+		return 2
+	}
+	fmt.Printf("glign-perfgate: measuring %d cells (%s graphs, warmup %d, reps %d)\n",
+		len(runner.Keys()), cfg.Size, cfg.Warmup, cfg.Reps)
+	report, err := runner.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "glign-perfgate:", err)
+		return 2
+	}
+
+	if *out != "" {
+		if err := report.WriteReport(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "glign-perfgate:", err)
+			return 2
+		}
+		fmt.Printf("glign-perfgate: report -> %s\n", *out)
+	}
+	if *writeBaseline != "" {
+		if err := report.WriteReport(*writeBaseline); err != nil {
+			fmt.Fprintln(os.Stderr, "glign-perfgate:", err)
+			return 2
+		}
+		fmt.Printf("glign-perfgate: baseline -> %s (%d cells)\n", *writeBaseline, len(report.Cells))
+	}
+
+	if !*check {
+		if *writeBaseline == "" && *out == "" {
+			fmt.Print(summarize(report))
+		}
+		return 0
+	}
+
+	baseline, err := perf.ReadReport(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "glign-perfgate:", err)
+		fmt.Fprintln(os.Stderr, "glign-perfgate: regenerate with: go run ./cmd/glign-perfgate -write-baseline", *baselinePath)
+		return 2
+	}
+	opt := gateOptions(report.Env, *tolerance)
+	diff := perf.Compare(baseline, report, opt)
+
+	// A regression on a live run gets one re-measurement with more reps:
+	// medians over 3 runs on a busy CI box still admit the occasional noise
+	// spike, and a genuine slowdown reproduces under 5.
+	if regs := diff.Regressions(); len(regs) > 0 && *remeasure > 0 {
+		fmt.Printf("glign-perfgate: %d cell(s) regressed; re-measuring with %d reps\n", len(regs), *remeasure)
+		cells := report.CellMap()
+		for _, key := range regs {
+			cell, err := runner.MeasureCell(key, *remeasure)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "glign-perfgate:", err)
+				return 2
+			}
+			*cells[key] = cell
+		}
+		diff = perf.Compare(baseline, report, opt)
+		if *out != "" {
+			if err := report.WriteReport(*out); err != nil {
+				fmt.Fprintln(os.Stderr, "glign-perfgate:", err)
+				return 2
+			}
+		}
+	}
+	fmt.Print(diff.Table())
+
+	if *benchArtifact != "" {
+		if msg := pinArtifact(*benchArtifact, baseline); msg != "" {
+			fmt.Fprintln(os.Stderr, "glign-perfgate:", msg)
+			return 1
+		}
+		fmt.Printf("glign-perfgate: %s schema+shape pinned against baseline\n", *benchArtifact)
+	}
+	if !diff.Pass {
+		fmt.Fprintln(os.Stderr, "glign-perfgate: FAIL — see the delta table above")
+		fmt.Fprintln(os.Stderr, "glign-perfgate: to accept a deliberate change, refresh the baseline:")
+		fmt.Fprintln(os.Stderr, "  go run ./cmd/glign-perfgate -write-baseline", *baselinePath)
+		return 1
+	}
+	fmt.Println("glign-perfgate: PASS")
+	return 0
+}
+
+// diffFiles is the offline mode: load two reports and print their delta
+// table. The current report's fingerprint drives the gating defaults.
+func diffFiles(basePath, curPath string, tolFlag float64) int {
+	base, err := perf.ReadReport(basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "glign-perfgate:", err)
+		return 2
+	}
+	cur, err := perf.ReadReport(curPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "glign-perfgate:", err)
+		return 2
+	}
+	diff := perf.Compare(base, cur, gateOptions(cur.Env, tolFlag))
+	fmt.Print(diff.Table())
+	if !diff.Pass {
+		return 1
+	}
+	return 0
+}
+
+// gateOptions resolves the diff options from the flag and environment.
+func gateOptions(env perf.Env, tolFlag float64) perf.DiffOptions {
+	opt := perf.DefaultDiffOptions(env)
+	if s := os.Getenv("GLIGN_PERF_TOLERANCE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			opt.Tolerance = v
+		} else {
+			fmt.Fprintf(os.Stderr, "glign-perfgate: ignoring bad GLIGN_PERF_TOLERANCE=%q\n", s)
+		}
+	}
+	if tolFlag > 0 {
+		opt.Tolerance = tolFlag
+	}
+	return opt
+}
+
+// pinArtifact checks the committed benchmark artifact (BENCH_PRn.json)
+// against the baseline: schema version and matrix shape must match exactly.
+// Returns "" when the artifact holds, else the failure message.
+func pinArtifact(path string, baseline *perf.Report) string {
+	artifact, err := perf.ReadReport(path)
+	if err != nil {
+		return err.Error()
+	}
+	// Shape-only comparison: advisory times, strict key set.
+	opt := perf.DiffOptions{Tolerance: 1e9, MinDeltaNs: 1 << 62, GateParallel: false}
+	d := perf.Compare(baseline, artifact, opt)
+	if d.SchemaMismatch != "" {
+		return fmt.Sprintf("%s: %s", path, d.SchemaMismatch)
+	}
+	if d.Missing > 0 || d.New > 0 {
+		return fmt.Sprintf("%s: matrix shape drifted from the baseline (%d missing, %d new cells); regenerate the artifact alongside the baseline",
+			path, d.Missing, d.New)
+	}
+	return ""
+}
+
+// summarize prints a short per-cell table for a bare run.
+func summarize(r *perf.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-40s  %12s  %8s  %8s\n", "cell", "median", "steals", "imbal")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%-40s  %9.3fms  %8d  %8.2f\n",
+			c.CellKey.String(), float64(c.NsPerOp)/1e6, c.Sched.Steals, c.Sched.ImbalanceRatio)
+	}
+	return b.String()
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range splitCSV(s) {
+		v, err := strconv.Atoi(f)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad worker count %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

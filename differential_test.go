@@ -122,7 +122,7 @@ func TestDifferentialAllMethods(t *testing.T) {
 		// per case.
 		prof := align.NewProfile(gc.g, align.DefaultHubCount, 0)
 		for _, k := range kernels {
-			for _, workers := range []int{1, 4} {
+			for _, workers := range []int{1, 4, 8} {
 				for _, method := range Methods() {
 					name := fmt.Sprintf("%s/%s/%s/w%d", gc.name, k.Name(), method, workers)
 					seed := caseSeed(base, name)
@@ -212,7 +212,7 @@ func TestDifferentialConvergenceKernels(t *testing.T) {
 		prof := align.NewProfile(gc.g, align.DefaultHubCount, 0)
 		for _, ck := range queries.Convergent() {
 			k := queries.Kernel(ck)
-			for _, workers := range []int{1, 4} {
+			for _, workers := range []int{1, 4, 8} {
 				for _, method := range methods {
 					name := fmt.Sprintf("%s/%s/%s/w%d", gc.name, k.Name(), method, workers)
 					seed := caseSeed(base, name)
@@ -268,7 +268,7 @@ func TestDifferentialDirectionOptimized(t *testing.T) {
 	prof := align.NewProfile(g, align.DefaultHubCount, 0)
 	base := diffBaseSeed(t)
 	for _, k := range []queries.Kernel{queries.BFS, queries.SSSP, queries.SSWP, queries.SSNP, queries.Viterbi} {
-		for _, workers := range []int{1, 4} {
+		for _, workers := range []int{1, 4, 8} {
 			name := fmt.Sprintf("%s/w%d", k.Name(), workers)
 			seed := caseSeed(base, "diropt/"+name)
 			t.Run(name, func(t *testing.T) {

@@ -34,7 +34,7 @@ func (e Congra) Run(g *graph.Graph, batch []queries.Query, opt core.Options) (*c
 	if err != nil {
 		return nil, err
 	}
-	res := &core.BatchResult{B: st.B, N: st.N, Values: st.Vals}
+	res := st.NewResult()
 	limit := e.ConcurrentQueries
 	if limit <= 0 {
 		limit = len(batch)
@@ -59,7 +59,7 @@ func (e Congra) Run(g *graph.Graph, batch []queries.Query, opt core.Options) (*c
 				TelemetryLane: i,
 			})
 			for v := 0; v < st.N; v++ {
-				st.Vals.Set(v*st.B+i, r.Values[v])
+				st.Vals.Set(st.Cell(v, i), r.Values[v])
 			}
 			mu.Lock()
 			if r.Iterations > res.GlobalIterations {

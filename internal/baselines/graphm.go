@@ -64,7 +64,7 @@ func (e GraphM) Run(g *graph.Graph, batch []queries.Query, opt core.Options) (*c
 	}
 	n, b := st.N, st.B
 	kinds := queries.KindsOf(st.Kernels)
-	res := &core.BatchResult{B: b, N: n, Values: st.Vals}
+	res := st.NewResult()
 	parts := partitionRanges(g, e.PartitionBytes)
 
 	tr := opt.Tracer
@@ -84,7 +84,7 @@ func (e GraphM) Run(g *graph.Graph, batch []queries.Query, opt core.Options) (*c
 		injected := 0
 		for _, qi := range st.InjectionsAt(iter) {
 			src := st.Sources[qi]
-			st.Vals.Set(int(src)*b+qi, st.Kernels[qi].SourceValue())
+			st.Vals.Set(st.Cell(int(src), qi), st.Kernels[qi].SourceValue())
 			sep[qi].Add(src)
 			injected++
 		}
@@ -138,7 +138,7 @@ func (e GraphM) Run(g *graph.Graph, batch []queries.Query, opt core.Options) (*c
 					kind := kinds[qi]
 					for ai := start; ai < len(act) && int(act[ai]) < vhi; ai++ {
 						v := act[ai]
-						sv := st.Vals.Get(int(v)*b + qi)
+						sv := st.Vals.Get(st.Cell(int(v), qi))
 						if tr != nil {
 							tr.Access(addr.OffsetAddr(v), 8, false)
 							tr.Access(addr.ValueAddr(int(v)*b+qi), 8, false)
@@ -155,7 +155,7 @@ func (e GraphM) Run(g *graph.Graph, batch []queries.Query, opt core.Options) (*c
 								addr.TraceEdgeRead(tr, g, int64(g.Offsets[v])+int64(j))
 								tr.Access(addr.ValueAddr(int(d)*b+qi), 8, false)
 							}
-							if queries.RelaxImprove(st.Vals, kind, k, int(d)*b+qi, sv, w) {
+							if queries.RelaxImprove(st.Vals, kind, k, st.Cell(int(d), qi), sv, w) {
 								writes++
 								if tr != nil {
 									tr.Access(addr.ValueAddr(int(d)*b+qi), 8, true)

@@ -34,12 +34,12 @@ func (QueryParallel) Run(g *graph.Graph, batch []queries.Query, opt core.Options
 	if err != nil {
 		return nil, err
 	}
-	res := &core.BatchResult{B: st.B, N: st.N, Values: st.Vals}
+	res := st.NewResult()
 	par.OrDefault(opt.Pool).For(len(batch), opt.Workers, 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			vals := engine.ReferenceRun(g, batch[i])
 			for v := 0; v < st.N; v++ {
-				st.Vals.Set(v*st.B+i, vals[v])
+				st.Vals.Set(st.Cell(v, i), vals[v])
 			}
 		}
 	})

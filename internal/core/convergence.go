@@ -14,9 +14,10 @@ import (
 
 // RunConvergenceBatch is the lane-fused Jacobi evaluator behind the batch
 // engines: one synchronized round recomputes every vertex for every
-// still-running lane from the previous round's in-neighbor values, with the
-// same interleaved v*B+i value layout the monotone engines use (one gather
-// of a neighbor touches all lanes' values contiguously). The batch must be
+// still-running lane from the previous round's in-neighbor values, using the
+// same layout machinery as the monotone engines (Options.Layout; padded
+// per-lane segments by default, so a lane's gather of in-neighbor values
+// walks one n-cell segment instead of striding across all B lanes). The batch must be
 // paradigm-homogeneous — every kernel a queries.ConvergenceKernel; the
 // batching layers split mixed buffers before routing.
 //
@@ -58,19 +59,28 @@ func RunConvergenceBatch(g *graph.Graph, batch []queries.Query, opt Options) (*B
 	pool := par.OrDefault(opt.Pool)
 	workers := opt.Workers
 
-	old := make([]queries.Value, n*b)
-	next := make([]queries.Value, n*b)
+	// The Jacobi path ignores Options.Tracer, so LayoutAuto is always padded.
+	layout := opt.Layout
+	if layout == LayoutAuto {
+		layout = LayoutPadded
+	}
+	vstride, laneOff, total := layoutGeometry(layout, n, b)
+
+	old := make([]queries.Value, total)
+	next := make([]queries.Value, total)
 	pool.For(n, workers, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
-			base := v * b
+			base := v * vstride
 			for i := 0; i < b; i++ {
-				old[base+i] = kers[i].InitialValue(n, graph.VertexID(v), batch[i].Source)
+				old[base+laneOff[i]] = kers[i].InitialValue(n, graph.VertexID(v), batch[i].Source)
 			}
 		}
 	})
 
 	res := &BatchResult{
 		B: b, N: n,
+		VStride:       vstride,
+		LaneOff:       laneOff,
 		LaneRounds:    make([]int, b),
 		LaneConverged: make([]bool, b),
 		LaneResiduals: make([]float64, b),
@@ -97,21 +107,27 @@ func RunConvergenceBatch(g *graph.Graph, batch []queries.Query, opt Options) (*B
 					scratch.Degs[j] = geo.OutDeg[u]
 				}
 				edges += int64(len(us))
-				base := v * b
+				base := v * vstride
 				for i := 0; i < b; i++ {
+					cell := base + laneOff[i]
 					if done[i] {
-						next[base+i] = old[base+i]
+						next[cell] = old[cell]
 						continue
 					}
+					// The gather stays inside lane i's segment under the
+					// padded layout (old[laneOff[i]+u]); interleaved runs
+					// stride across all B lanes per neighbor, the paper's
+					// shape.
+					off := laneOff[i]
 					for j, u := range us {
-						scratch.Nbrs[j] = old[int(u)*b+i]
+						scratch.Nbrs[j] = old[int(u)*vstride+off]
 					}
-					nv := kers[i].Step(n, old[base+i], scratch.Nbrs[:len(us)], scratch.Degs[:len(us)])
-					next[base+i] = nv
-					if r := kers[i].Residual(old[base+i], nv); r > scratch.Resid[i] {
+					nv := kers[i].Step(n, old[cell], scratch.Nbrs[:len(us)], scratch.Degs[:len(us)])
+					next[cell] = nv
+					if r := kers[i].Residual(old[cell], nv); r > scratch.Resid[i] {
 						scratch.Resid[i] = r
 					}
-					if nv != old[base+i] {
+					if nv != old[cell] {
 						writes++
 					}
 					relaxes += int64(len(us))
@@ -166,12 +182,12 @@ func RunConvergenceBatch(g *graph.Graph, batch []queries.Query, opt Options) (*B
 		}
 	}
 	res.UnionFrontierSizes = sizes
-	vals := queries.NewValues(n*b, 0)
+	vals := queries.NewValues(total, 0)
 	pool.For(n, workers, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
-			base := v * b
+			base := v * vstride
 			for i := 0; i < b; i++ {
-				vals.Set(base+i, old[base+i])
+				vals.Set(base+laneOff[i], old[base+laneOff[i]])
 			}
 		}
 	})
@@ -193,9 +209,16 @@ func RunConvergenceSequential(g *graph.Graph, batch []queries.Query, opt Options
 	if rev == nil && g.Directed {
 		rev = g.Reverse()
 	}
-	vals := queries.NewValues(n*b, 0)
+	layout := opt.Layout
+	if layout == LayoutAuto {
+		layout = LayoutPadded
+	}
+	vstride, laneOff, total := layoutGeometry(layout, n, b)
+	vals := queries.NewValues(total, 0)
 	res := &BatchResult{
 		B: b, N: n, Values: vals,
+		VStride:       vstride,
+		LaneOff:       laneOff,
 		LaneRounds:    make([]int, b),
 		LaneConverged: make([]bool, b),
 		LaneResiduals: make([]float64, b),
@@ -217,7 +240,7 @@ func RunConvergenceSequential(g *graph.Graph, batch []queries.Query, opt Options
 			return nil, err
 		}
 		for v := 0; v < n; v++ {
-			vals.Set(v*b+i, r.Values[v])
+			vals.Set(v*vstride+laneOff[i], r.Values[v])
 		}
 		res.LaneRounds[i] = r.Iterations
 		res.LaneResiduals[i] = r.Residual

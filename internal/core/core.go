@@ -11,6 +11,70 @@ import (
 	"github.com/glign/glign/internal/telemetry"
 )
 
+// ValueLayout selects the physical arrangement of the batched value array.
+//
+// The paper's §3.5 layout interleaves the B per-query values of each vertex
+// (cell of vertex v, query i at v*B+i) so one vertex's values share a cache
+// line. That is the right shape for the relaxation inner loop, but it puts
+// different queries' values on the same line: concurrent lanes writing
+// different queries of neighboring vertices fight over lines (false sharing),
+// and per-lane passes (the Jacobi gather of convergence kernels, per-query
+// extraction) walk the array at stride B.
+//
+// The padded layout gives each query lane its own cache-line-aligned segment
+// (cell of vertex v, query i at i*laneStride+v, laneStride rounded up to a
+// multiple of 8 cells = 64 bytes): lanes never share a line, and per-lane
+// passes become unit-stride. Engines address cells through BatchSetup.Cell /
+// the VStride+LaneOff pair, so both layouts run through identical code.
+type ValueLayout int
+
+const (
+	// LayoutAuto picks padded, except under a memtrace.Tracer where the
+	// simulated address stream must stay faithful to the paper's interleaved
+	// model (tracing already forces workers=1, so false sharing is moot).
+	LayoutAuto ValueLayout = iota
+	// LayoutInterleaved is the paper's §3.5 layout: cell(v, i) = v*B+i.
+	LayoutInterleaved
+	// LayoutPadded is the per-lane layout: cell(v, i) = i*laneStride+v with
+	// 64-byte-aligned lane segments.
+	LayoutPadded
+)
+
+func (l ValueLayout) String() string {
+	switch l {
+	case LayoutInterleaved:
+		return "interleaved"
+	case LayoutPadded:
+		return "padded"
+	}
+	return "auto"
+}
+
+// laneStrideFor rounds the per-lane segment length up to a multiple of 8
+// cells, so each 8-byte-cell segment starts and ends on a 64-byte line
+// boundary and no two lanes ever share a cache line.
+func laneStrideFor(n int) int {
+	return (n + 7) &^ 7
+}
+
+// layoutGeometry realizes a resolved layout over an n x b value array:
+// vertex v, lane i lives at v*vstride+laneOff[i], and total is the array
+// length (including alignment padding for the padded layout).
+func layoutGeometry(layout ValueLayout, n, b int) (vstride int, laneOff []int, total int) {
+	laneOff = make([]int, b)
+	if layout == LayoutPadded {
+		stride := laneStrideFor(n)
+		for i := range laneOff {
+			laneOff[i] = i * stride
+		}
+		return 1, laneOff, stride * b
+	}
+	for i := range laneOff {
+		laneOff[i] = i
+	}
+	return b, laneOff, n * b
+}
+
 // Options configures a batch evaluation.
 type Options struct {
 	// Workers bounds parallelism; <= 0 means GOMAXPROCS. Runs with a Tracer
@@ -39,17 +103,25 @@ type Options struct {
 	// iteration (per per-query iteration for sequential engines). Nil —
 	// the default — makes every hook a no-op nil-receiver call.
 	Telemetry *telemetry.BatchTrace
+	// Layout selects the value-array arrangement (see ValueLayout). The
+	// zero value LayoutAuto resolves to padded, or interleaved under a
+	// Tracer.
+	Layout ValueLayout
 }
 
 // BatchResult is the outcome of evaluating one batch.
 type BatchResult struct {
-	// B is the batch size (number of queries, also the value-array stride).
+	// B is the batch size (number of queries).
 	B int
 	// N is the vertex count of the graph.
 	N int
-	// Values is the flat n*B value array (layout: vertex v, query i at
-	// v*B+i).
+	// Values is the flat batched value array. Vertex v, query q lives at
+	// v*VStride+LaneOff[q]; a nil LaneOff means the paper's interleaved
+	// layout (v*B+q), which keeps hand-built results in older tests valid.
 	Values *queries.Values
+	// VStride and LaneOff describe the value-array layout (see ValueLayout).
+	VStride int
+	LaneOff []int
 	// GlobalIterations counts executed global iterations.
 	GlobalIterations int
 	// UnionFrontierSizes records the unified frontier size entering every
@@ -73,16 +145,25 @@ type BatchResult struct {
 	LaneResiduals []float64
 }
 
+// cell returns the value-array index of vertex v, query q under the result's
+// layout.
+func (r *BatchResult) cell(v, q int) int {
+	if r.LaneOff == nil {
+		return v*r.B + q
+	}
+	return v*r.VStride + r.LaneOff[q]
+}
+
 // Value returns the final value of vertex v for query q.
 func (r *BatchResult) Value(q int, v graph.VertexID) queries.Value {
-	return r.Values.Get(int(v)*r.B + q)
+	return r.Values.Get(r.cell(int(v), q))
 }
 
 // QueryValues copies out the full value vector of query q.
 func (r *BatchResult) QueryValues(q int) []queries.Value {
 	out := make([]queries.Value, r.N)
 	for v := 0; v < r.N; v++ {
-		out[v] = r.Values.Get(v*r.B + q)
+		out[v] = r.Values.Get(r.cell(v, q))
 	}
 	return out
 }
@@ -105,11 +186,36 @@ type BatchSetup struct {
 	Kernels  []queries.Kernel
 	Identity []queries.Value
 	Vals     *queries.Values
+	// Layout is the resolved value-array layout; VStride and LaneOff realize
+	// it: vertex v, query i lives at v*VStride+LaneOff[i]. Interleaved runs
+	// carry VStride=B, LaneOff[i]=i (so Cell(v,i) == v*B+i, the paper's
+	// formula); padded runs carry VStride=1, LaneOff[i]=i*laneStride.
+	Layout  ValueLayout
+	VStride int
+	LaneOff []int
 	// Alignment[i] = global iteration at which query i starts; MaxAlign is
 	// the last injection iteration.
 	Alignment []int
 	MaxAlign  int
 	Sources   []graph.VertexID
+}
+
+// Cell returns the value-array index of vertex v, query lane i.
+func (st *BatchSetup) Cell(v, i int) int {
+	return v*st.VStride + st.LaneOff[i]
+}
+
+// NewResult builds the engine result envelope carrying the setup's sizes,
+// value array and layout, so BatchResult.Value addresses cells the same way
+// the engine wrote them.
+func (st *BatchSetup) NewResult() *BatchResult {
+	return &BatchResult{
+		B:       st.B,
+		N:       st.N,
+		Values:  st.Vals,
+		VStride: st.VStride,
+		LaneOff: st.LaneOff,
+	}
 }
 
 // PrepareBatch validates a batch against a graph and options and builds its
@@ -159,15 +265,26 @@ func PrepareBatch(g *graph.Graph, batch []queries.Query, opt Options) (*BatchSet
 	} else {
 		st.Alignment = make([]int, b)
 	}
-	st.Vals = queries.NewValues(n*b, 0)
-	// The identity fill touches all n*b cells; for large graphs that is the
+	st.Layout = opt.Layout
+	if st.Layout == LayoutAuto {
+		if opt.Tracer != nil {
+			st.Layout = LayoutInterleaved
+		} else {
+			st.Layout = LayoutPadded
+		}
+	}
+	var total int
+	st.VStride, st.LaneOff, total = layoutGeometry(st.Layout, n, b)
+	st.Vals = queries.NewValues(total, 0)
+	// The identity fill touches every cell; for large graphs that is the
 	// batch's first cold pass over the value array, so spread it over the
-	// pool (disjoint vertex blocks; Set stores are atomic).
+	// pool (disjoint vertex blocks; Set stores are atomic). Padding cells at
+	// lane-segment tails are never addressed and stay zero.
 	par.OrDefault(opt.Pool).For(n, opt.Workers, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
-			base := v * b
+			base := v * st.VStride
 			for i := 0; i < b; i++ {
-				st.Vals.Set(base+i, st.Identity[i])
+				st.Vals.Set(base+st.LaneOff[i], st.Identity[i])
 			}
 		}
 	})

@@ -41,7 +41,7 @@ func pullIteration(rev *graph.Graph, st *BatchSetup, kinds []queries.OpKind,
 		var edges, relaxes, writes int64
 		for d := lo; d < hi; d++ {
 			ins, ws := rev.OutEdges(graph.VertexID(d))
-			dbase := d * b
+			dbase := d * st.VStride
 			improved := 0
 			for j, s := range ins {
 				if !cur.Contains(s) {
@@ -52,7 +52,7 @@ func pullIteration(rev *graph.Graph, st *BatchSetup, kinds []queries.OpKind,
 				if ws != nil {
 					w = ws[j]
 				}
-				sbase := int(s) * b
+				sbase := int(s) * st.VStride
 				relaxes += int64(b)
 				improved += pullEdge(st, homo, kinds, sbase, dbase, w)
 			}
@@ -77,19 +77,19 @@ func pullEdge(st *BatchSetup, homo queries.OpKind, kinds []queries.OpKind, sbase
 	switch homo {
 	case queries.OpBFS:
 		for i := 0; i < b; i++ {
-			if sv := st.Vals.Get(sbase + i); sv != st.Identity[i] && st.Vals.ImproveMin(dbase+i, sv+1) {
+			if sv := st.Vals.Get(sbase + st.LaneOff[i]); sv != st.Identity[i] && st.Vals.ImproveMin(dbase+st.LaneOff[i], sv+1) {
 				improved++
 			}
 		}
 	case queries.OpSSSP:
 		for i := 0; i < b; i++ {
-			if sv := st.Vals.Get(sbase + i); sv != st.Identity[i] && st.Vals.ImproveMin(dbase+i, sv+wv) {
+			if sv := st.Vals.Get(sbase + st.LaneOff[i]); sv != st.Identity[i] && st.Vals.ImproveMin(dbase+st.LaneOff[i], sv+wv) {
 				improved++
 			}
 		}
 	case queries.OpSSWP:
 		for i := 0; i < b; i++ {
-			sv := st.Vals.Get(sbase + i)
+			sv := st.Vals.Get(sbase + st.LaneOff[i])
 			if sv == st.Identity[i] {
 				continue
 			}
@@ -97,13 +97,13 @@ func pullEdge(st *BatchSetup, homo queries.OpKind, kinds []queries.OpKind, sbase
 			if sv < cand {
 				cand = sv
 			}
-			if st.Vals.ImproveMax(dbase+i, cand) {
+			if st.Vals.ImproveMax(dbase+st.LaneOff[i], cand) {
 				improved++
 			}
 		}
 	case queries.OpSSNP:
 		for i := 0; i < b; i++ {
-			sv := st.Vals.Get(sbase + i)
+			sv := st.Vals.Get(sbase + st.LaneOff[i])
 			if sv == st.Identity[i] {
 				continue
 			}
@@ -111,23 +111,23 @@ func pullEdge(st *BatchSetup, homo queries.OpKind, kinds []queries.OpKind, sbase
 			if sv > cand {
 				cand = sv
 			}
-			if st.Vals.ImproveMin(dbase+i, cand) {
+			if st.Vals.ImproveMin(dbase+st.LaneOff[i], cand) {
 				improved++
 			}
 		}
 	case queries.OpViterbi:
 		for i := 0; i < b; i++ {
-			if sv := st.Vals.Get(sbase + i); sv != st.Identity[i] && st.Vals.ImproveMax(dbase+i, sv/wv) {
+			if sv := st.Vals.Get(sbase + st.LaneOff[i]); sv != st.Identity[i] && st.Vals.ImproveMax(dbase+st.LaneOff[i], sv/wv) {
 				improved++
 			}
 		}
 	default:
 		for i := 0; i < b; i++ {
-			sv := st.Vals.Get(sbase + i)
+			sv := st.Vals.Get(sbase + st.LaneOff[i])
 			if sv == st.Identity[i] {
 				continue
 			}
-			if queries.RelaxImprove(st.Vals, kinds[i], st.Kernels[i], dbase+i, sv, w) {
+			if queries.RelaxImprove(st.Vals, kinds[i], st.Kernels[i], dbase+st.LaneOff[i], sv, w) {
 				improved++
 			}
 		}

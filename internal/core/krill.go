@@ -43,7 +43,7 @@ func (krill) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchResu
 	}
 	n, b := st.N, st.B
 	kinds := queries.KindsOf(st.Kernels)
-	res := &BatchResult{B: b, N: n, Values: st.Vals}
+	res := st.NewResult()
 	res.UnionFrontierSizes = make([]int, 0, iterCapHint(opt.MaxIterations))
 
 	tr := opt.Tracer
@@ -62,7 +62,7 @@ func (krill) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchResu
 		injected := 0
 		for _, qi := range st.InjectionsAt(iter) {
 			src := st.Sources[qi]
-			st.Vals.Set(int(src)*b+qi, st.Kernels[qi].SourceValue())
+			st.Vals.Set(st.Cell(int(src), qi), st.Kernels[qi].SourceValue())
 			qm.Set(src, qi)
 			union.Add(src)
 			injected++
@@ -96,7 +96,7 @@ func (krill) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchResu
 			var edges, relaxes, writes int64
 			for ai := lo; ai < hi; ai++ {
 				v := active[ai]
-				base := int(v) * b
+				base := int(v) * st.VStride
 				mask := qm.Get(v)
 				if tr != nil {
 					tr.Access(addr.qmaskCur+int64(v)*8, 8, false)
@@ -115,7 +115,7 @@ func (krill) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchResu
 					if ws != nil {
 						w = ws[j]
 					}
-					dbase := int(d) * b
+					dbase := int(d) * st.VStride
 					if tr != nil {
 						eo := int64(g.Offsets[v]) + int64(j)
 						addr.TraceEdgeRead(tr, g, eo)
@@ -127,7 +127,7 @@ func (krill) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchResu
 						if tr != nil {
 							tr.Access(addr.values+int64(dbase+i)*8, 8, false)
 						}
-						if queries.RelaxImprove(st.Vals, kinds[i], st.Kernels[i], dbase+i, st.Vals.Get(base+i), w) {
+						if queries.RelaxImprove(st.Vals, kinds[i], st.Kernels[i], dbase+st.LaneOff[i], st.Vals.Get(base+st.LaneOff[i]), w) {
 							writes++
 							anyImproved = true
 							nextQM.Set(d, i)

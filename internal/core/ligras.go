@@ -29,7 +29,7 @@ func (ligraS) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchRes
 	if err != nil {
 		return nil, err
 	}
-	res := &BatchResult{B: st.B, N: st.N, Values: st.Vals}
+	res := st.NewResult()
 	for i, q := range batch {
 		r := engine.Run(g, q, engine.Options{
 			Workers:       opt.Workers,
@@ -40,7 +40,7 @@ func (ligraS) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchRes
 			TelemetryLane: i,
 		})
 		for v := 0; v < st.N; v++ {
-			st.Vals.Set(v*st.B+i, r.Values[v])
+			st.Vals.Set(st.Cell(v, i), r.Values[v])
 		}
 		if r.Iterations > res.GlobalIterations {
 			res.GlobalIterations = r.Iterations

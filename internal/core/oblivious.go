@@ -62,7 +62,7 @@ func (s *obliviousScratch) collect(st *BatchSetup, kinds []queries.OpKind, base 
 	}
 	total := 0
 	for i := 0; i < st.B; i++ {
-		sv := st.Vals.Get(base + i)
+		sv := st.Vals.Get(base + st.LaneOff[i])
 		s.srcVals[i] = sv
 		if sv != st.Identity[i] {
 			k := kinds[i]
@@ -87,14 +87,14 @@ func relaxGroup(st *BatchSetup, s *obliviousScratch, grp laneGroup, dbase int, w
 	switch grp.kind {
 	case queries.OpBFS:
 		for _, li := range grp.lanes {
-			if st.Vals.ImproveMin(dbase+int(li), s.srcVals[li]+1) {
+			if st.Vals.ImproveMin(dbase+st.LaneOff[li], s.srcVals[li]+1) {
 				improved++
 			}
 		}
 	case queries.OpSSSP:
 		wv := queries.Value(w)
 		for _, li := range grp.lanes {
-			if st.Vals.ImproveMin(dbase+int(li), s.srcVals[li]+wv) {
+			if st.Vals.ImproveMin(dbase+st.LaneOff[li], s.srcVals[li]+wv) {
 				improved++
 			}
 		}
@@ -105,7 +105,7 @@ func relaxGroup(st *BatchSetup, s *obliviousScratch, grp laneGroup, dbase int, w
 			if s.srcVals[li] < cand {
 				cand = s.srcVals[li]
 			}
-			if st.Vals.ImproveMax(dbase+int(li), cand) {
+			if st.Vals.ImproveMax(dbase+st.LaneOff[li], cand) {
 				improved++
 			}
 		}
@@ -116,21 +116,21 @@ func relaxGroup(st *BatchSetup, s *obliviousScratch, grp laneGroup, dbase int, w
 			if s.srcVals[li] > cand {
 				cand = s.srcVals[li]
 			}
-			if st.Vals.ImproveMin(dbase+int(li), cand) {
+			if st.Vals.ImproveMin(dbase+st.LaneOff[li], cand) {
 				improved++
 			}
 		}
 	case queries.OpViterbi:
 		wv := queries.Value(w)
 		for _, li := range grp.lanes {
-			if st.Vals.ImproveMax(dbase+int(li), s.srcVals[li]/wv) {
+			if st.Vals.ImproveMax(dbase+st.LaneOff[li], s.srcVals[li]/wv) {
 				improved++
 			}
 		}
 	default:
 		for _, li := range grp.lanes {
 			i := int(li)
-			if st.Vals.Improve(dbase+i, st.Kernels[i].Relax(s.srcVals[i], w), st.Kernels[i].Better) {
+			if st.Vals.Improve(dbase+st.LaneOff[i], st.Kernels[i].Relax(s.srcVals[i], w), st.Kernels[i].Better) {
 				improved++
 			}
 		}
@@ -151,7 +151,7 @@ func (oblivious) Run(g *graph.Graph, batch []queries.Query, opt Options) (*Batch
 	}
 	n, b := st.N, st.B
 	kinds := queries.KindsOf(st.Kernels)
-	res := &BatchResult{B: b, N: n, Values: st.Vals}
+	res := st.NewResult()
 	res.UnionFrontierSizes = make([]int, 0, iterCapHint(opt.MaxIterations))
 
 	tr := opt.Tracer
@@ -169,9 +169,9 @@ func (oblivious) Run(g *graph.Graph, batch []queries.Query, opt Options) (*Batch
 		injected := 0
 		for _, qi := range st.InjectionsAt(iter) {
 			src := st.Sources[qi]
-			st.Vals.Set(int(src)*b+qi, st.Kernels[qi].SourceValue())
+			st.Vals.Set(st.Cell(int(src), qi), st.Kernels[qi].SourceValue())
 			if tr != nil {
-				tr.Access(addr.ValueAddr(int(src)*b+qi), 8, true)
+				tr.Access(addr.ValueAddr(st.Cell(int(src), qi)), 8, true)
 			}
 			cur.Add(src)
 			injected++
@@ -210,11 +210,12 @@ func (oblivious) Run(g *graph.Graph, batch []queries.Query, opt Options) (*Batch
 			var edges, relaxes, writes int64
 			for ai := lo; ai < hi; ai++ {
 				v := active[ai]
-				base := int(v) * b
+				base := int(v) * st.VStride
 				// Snapshot the source values once per vertex and group the
-				// non-identity lanes by kernel kind;
-				// ValArray[v*B..v*B+B) is contiguous — the locality the
-				// paper's layout buys.
+				// non-identity lanes by kernel kind. Interleaved runs read the
+				// contiguous block ValArray[v*B..v*B+B) — the locality the
+				// paper's layout buys; padded runs gather one cell per lane
+				// segment but never share a line across lanes.
 				activeLanes := scratch.collect(st, kinds, base)
 				if tr != nil {
 					tr.Access(addr.OffsetAddr(v), 8, false)
@@ -230,7 +231,7 @@ func (oblivious) Run(g *graph.Graph, batch []queries.Query, opt Options) (*Batch
 					if ws != nil {
 						w = ws[j]
 					}
-					dbase := int(d) * b
+					dbase := int(d) * st.VStride
 					relaxes += int64(activeLanes)
 					improved := 0
 					for _, grp := range scratch.groups {

@@ -36,7 +36,7 @@ func (twoLevel) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchR
 	}
 	n, b := st.N, st.B
 	kinds := queries.KindsOf(st.Kernels)
-	res := &BatchResult{B: b, N: n, Values: st.Vals}
+	res := st.NewResult()
 	res.UnionFrontierSizes = make([]int, 0, iterCapHint(opt.MaxIterations))
 
 	tr := opt.Tracer
@@ -62,7 +62,7 @@ func (twoLevel) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchR
 		injected := 0
 		for _, qi := range st.InjectionsAt(iter) {
 			src := st.Sources[qi]
-			st.Vals.Set(int(src)*b+qi, st.Kernels[qi].SourceValue())
+			st.Vals.Set(st.Cell(int(src), qi), st.Kernels[qi].SourceValue())
 			sep[qi].Add(src)
 			union.Add(src)
 			injected++
@@ -86,7 +86,6 @@ func (twoLevel) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchR
 			prev = countersOf(res)
 		}
 
-		nextUnion := frontier.New(n)
 		for i := range nextSep {
 			nextSep[i] = frontier.New(n)
 		}
@@ -99,7 +98,7 @@ func (twoLevel) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchR
 			var edges, relaxes, writes int64
 			for ai := lo; ai < hi; ai++ {
 				v := active[ai]
-				base := int(v) * b
+				base := int(v) * st.VStride
 				// Second-level check: probe every query's separate
 				// frontier (B scattered bitmap reads — the cost of the
 				// two-level design).
@@ -128,7 +127,7 @@ func (twoLevel) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchR
 					if ws != nil {
 						w = ws[j]
 					}
-					dbase := int(d) * b
+					dbase := int(d) * st.VStride
 					if tr != nil {
 						eo := int64(g.Offsets[v]) + int64(j)
 						addr.TraceEdgeRead(tr, g, eo)
@@ -139,10 +138,9 @@ func (twoLevel) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchR
 						if tr != nil {
 							tr.Access(addr.values+int64(dbase+i)*8, 8, false)
 						}
-						if queries.RelaxImprove(st.Vals, kinds[i], st.Kernels[i], dbase+i, st.Vals.Get(base+i), w) {
+						if queries.RelaxImprove(st.Vals, kinds[i], st.Kernels[i], dbase+st.LaneOff[i], st.Vals.Get(base+st.LaneOff[i]), w) {
 							writes++
 							nextSep[i].AddSync(d)
-							nextUnion.AddSync(d)
 							if tr != nil {
 								tr.Access(addr.values+int64(dbase+i)*8, 8, true)
 								tr.Access(addr.sepNext[i]+int64(d>>6)*8, 8, true)
@@ -156,7 +154,12 @@ func (twoLevel) Run(g *graph.Graph, batch []queries.Query, opt Options) (*BatchR
 			atomic.AddInt64(&res.LaneRelaxations, relaxes)
 			atomic.AddInt64(&res.ValueWrites, writes)
 		})
-		union = nextUnion
+		// The paper's two-level design maintains the unified frontier with a
+		// second per-improvement bitmap CAS (the access the trace above still
+		// models). The executed version derives it once per iteration from
+		// the quiesced lane frontiers with a word-level OR — same set, no
+		// per-improvement union contention on shared cache lines.
+		union = frontier.UnionOf(pool, workers, nextSep...)
 		sep, nextSep = nextSep, sep
 		if opt.Telemetry != nil {
 			recordIteration(opt.Telemetry, st, res, iter, frontierSize, telemetry.ModePush, injected, prev)

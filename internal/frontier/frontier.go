@@ -125,6 +125,44 @@ func (s *Subset) UnionWith(o *Subset) {
 	s.sparseOK = false
 }
 
+// UnionOf builds the union of parts (which must share one universe) with one
+// word-level pass: 64 membership bits OR-combine per operation, and the
+// member count falls out of bits.OnesCount64 on the way — no per-vertex CAS.
+// This is how the two-level engine derives its unified frontier from the B
+// separate lane frontiers after each iteration's relaxations have quiesced;
+// at B=16 it replaces up to 16 AddSync CAS loops per improved vertex with
+// one word read per lane per 64 vertices. The word scan runs on the pool
+// (disjoint word blocks, chunk-ordered integer reduction — deterministic).
+//
+//lint:ignore glignlint/atomicmix the destination is private until return and parts are quiesced by contract; no AddSync can be in flight
+func UnionOf(pool *par.Pool, workers int, parts ...*Subset) *Subset {
+	if len(parts) == 0 {
+		panic("frontier: UnionOf of no subsets")
+	}
+	u := New(parts[0].n)
+	for _, p := range parts {
+		if p.n != u.n {
+			panic("frontier: UnionOf over mismatched universes")
+		}
+	}
+	words := u.words
+	total := par.ForReduce(pool, len(words), workers, 0, 0,
+		func(lo, hi int, acc int) int {
+			for wi := lo; wi < hi; wi++ {
+				var w uint64
+				for _, p := range parts {
+					w |= p.words[wi]
+				}
+				words[wi] = w
+				acc += bits.OnesCount64(w)
+			}
+			return acc
+		},
+		func(a, b int) int { return a + b })
+	u.count.Store(int64(total))
+	return u
+}
+
 // OverlapCount returns |s ∩ o| (single-threaded, like UnionWith).
 //
 //lint:ignore glignlint/atomicmix read-only scan of quiesced frontiers (alignment profiling runs between traversals)

@@ -228,6 +228,118 @@ func TestQuickUnionIntersectionLaws(t *testing.T) {
 	}
 }
 
+// unionOfReference is the bit-by-bit oracle for UnionOf: per-vertex
+// membership tests, no word-level tricks.
+func unionOfReference(parts ...*Subset) (map[graph.VertexID]bool, int) {
+	ref := make(map[graph.VertexID]bool)
+	n := parts[0].Universe()
+	for v := 0; v < n; v++ {
+		for _, p := range parts {
+			if p.Contains(graph.VertexID(v)) {
+				ref[graph.VertexID(v)] = true
+				break
+			}
+		}
+	}
+	return ref, len(ref)
+}
+
+// TestUnionOfWordBoundaries pins the word-level union and popcount at the
+// exact universe sizes where word arithmetic goes wrong: one bit short of a
+// word (63), a full word (64), one bit into the second word (65), and
+// non-multiple-of-64 tails. Every lane-count and membership corner is checked
+// against the bit-by-bit reference.
+func TestUnionOfWordBoundaries(t *testing.T) {
+	universes := []int{1, 63, 64, 65, 127, 128, 129, 191, 1000}
+	laneCounts := []int{1, 2, 8, 16}
+	rng := rand.New(rand.NewSource(0x91159))
+	for _, n := range universes {
+		for _, lanes := range laneCounts {
+			parts := make([]*Subset, lanes)
+			for i := range parts {
+				parts[i] = New(n)
+				// Sprinkle members with bias toward word edges and the tail.
+				for k := 0; k < 1+rng.Intn(n); k++ {
+					parts[i].Add(graph.VertexID(rng.Intn(n)))
+				}
+				for _, edge := range []int{0, 62, 63, 64, n - 2, n - 1} {
+					if edge >= 0 && edge < n && rng.Intn(2) == 0 {
+						parts[i].Add(graph.VertexID(edge))
+					}
+				}
+			}
+			u := UnionOf(nil, 2, parts...)
+			ref, count := unionOfReference(parts...)
+			if u.Count() != count {
+				t.Fatalf("n=%d lanes=%d: UnionOf count %d, reference %d", n, lanes, u.Count(), count)
+			}
+			for v := 0; v < n; v++ {
+				if u.Contains(graph.VertexID(v)) != ref[graph.VertexID(v)] {
+					t.Fatalf("n=%d lanes=%d: vertex %d membership diverges from reference", n, lanes, v)
+				}
+			}
+			// The tail bits beyond n must stay zero (no phantom members).
+			if tail := n % 64; tail != 0 {
+				last := u.Words()[len(u.Words())-1]
+				if last>>tail != 0 {
+					t.Fatalf("n=%d lanes=%d: union set bits beyond the universe: %064b", n, lanes, last)
+				}
+			}
+			// Sparse materialization agrees with Count (exercises the cached
+			// sparse path after a word-level build).
+			if len(u.Sparse()) != count {
+				t.Fatalf("n=%d lanes=%d: Sparse has %d members, Count says %d", n, lanes, len(u.Sparse()), count)
+			}
+		}
+	}
+}
+
+// Property: UnionOf equals the result of folding UnionWith (the serial
+// word-level path already pinned by TestQuickUnionIntersectionLaws), and is
+// invariant under lane order.
+func TestQuickUnionOfMatchesFold(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(1<<10)
+		lanes := 1 + rng.Intn(16)
+		parts := make([]*Subset, lanes)
+		for i := range parts {
+			parts[i], _ = genSubset(rng, n, rng.Intn(n+1))
+		}
+		got := UnionOf(nil, 1+rng.Intn(4), parts...)
+		want := New(n)
+		for _, p := range parts {
+			want.UnionWith(p)
+		}
+		if got.Count() != want.Count() {
+			return false
+		}
+		for i, w := range got.Words() {
+			if w != want.Words()[i] {
+				return false
+			}
+		}
+		// Lane order must not matter.
+		rev := make([]*Subset, lanes)
+		for i := range rev {
+			rev[i] = parts[lanes-1-i]
+		}
+		again := UnionOf(nil, 1, rev...)
+		if again.Count() != got.Count() {
+			return false
+		}
+		for i, w := range again.Words() {
+			if w != got.Words()[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(5, 150)); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: per-vertex query-mask laws. A mask built from the union of two
 // assignment sets equals the bitwise OR of the individual masks at every
 // vertex, and intersection popcounts match the reference.

@@ -302,6 +302,52 @@ type Stats struct {
 	ChunksPerWorker []int64
 }
 
+// Sub returns the counter deltas s - prev, attributing an interval of work
+// (a benchmark cell, one run) on a shared pool: Workers is carried from s,
+// and per-worker chunk counts subtract slot-wise. prev must be an earlier
+// snapshot of the same pool.
+func (s Stats) Sub(prev Stats) Stats {
+	d := Stats{
+		Workers:         s.Workers,
+		Jobs:            s.Jobs - prev.Jobs,
+		InlineRuns:      s.InlineRuns - prev.InlineRuns,
+		Chunks:          s.Chunks - prev.Chunks,
+		Steals:          s.Steals - prev.Steals,
+		Parks:           s.Parks - prev.Parks,
+		ChunksPerWorker: make([]int64, len(s.ChunksPerWorker)),
+	}
+	for i, n := range s.ChunksPerWorker {
+		if i < len(prev.ChunksPerWorker) {
+			n -= prev.ChunksPerWorker[i]
+		}
+		d.ChunksPerWorker[i] = n
+	}
+	return d
+}
+
+// ImbalanceRatio condenses ChunksPerWorker into one load-imbalance figure:
+// the maximum over the mean of the participants that executed any chunks.
+// 1.0 is perfectly level; large values mean stealing failed to spread the
+// load. Returns 0 when no chunks were executed at all.
+func (s Stats) ImbalanceRatio() float64 {
+	var max, sum int64
+	active := 0
+	for _, n := range s.ChunksPerWorker {
+		if n <= 0 {
+			continue
+		}
+		active++
+		sum += n
+		if n > max {
+			max = n
+		}
+	}
+	if active == 0 {
+		return 0
+	}
+	return float64(max) * float64(active) / float64(sum)
+}
+
 // Stats snapshots the pool's counters.
 func (p *Pool) Stats() Stats {
 	s := Stats{

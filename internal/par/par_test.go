@@ -108,12 +108,12 @@ func TestGrainDerivesChunkCountFirst(t *testing.T) {
 		total, workers, grain int
 		wantGrain, wantChunks int
 	}{
-		{260, 4, 0, 65, 4},    // just above minGrain*workers: 4 even chunks
-		{256, 4, 0, 64, 4},    // exactly minGrain*workers
-		{300, 4, 0, 75, 4},    // still floor-limited: 4 chunks of 75
-		{1024, 4, 0, 64, 16},  // unconstrained: chunksPerWorker*workers chunks
-		{4096, 4, 0, 256, 16}, // ditto, grain scales with total
-		{63, 4, 0, 64, 1},     // sub-grain total collapses to one chunk
+		{260, 4, 0, 65, 4},      // just above minGrain*workers: 4 even chunks
+		{256, 4, 0, 64, 4},      // exactly minGrain*workers
+		{300, 4, 0, 75, 4},      // still floor-limited: 4 chunks of 75
+		{1024, 4, 0, 64, 16},    // unconstrained: chunksPerWorker*workers chunks
+		{4096, 4, 0, 256, 16},   // ditto, grain scales with total
+		{63, 4, 0, 64, 1},       // sub-grain total collapses to one chunk
 		{1000, 4, 100, 100, 10}, // explicit grain honored exactly
 		{1000, 4, 7, 64, 16},    // explicit grain floors at minGrain
 	}

@@ -1,0 +1,255 @@
+package perf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Class is the verdict of one cell's baseline-vs-current comparison.
+type Class string
+
+const (
+	// ClassOK: the delta is within the noise tolerance.
+	ClassOK Class = "ok"
+	// ClassImproved: faster than the baseline beyond the tolerance — the
+	// gate passes, but the baseline is stale and worth refreshing.
+	ClassImproved Class = "improved"
+	// ClassRegressed: slower than the baseline beyond the tolerance AND the
+	// absolute noise floor. Gated cells with this class fail the diff.
+	ClassRegressed Class = "regressed"
+	// ClassMissing: present in the baseline, absent from the current report
+	// (matrix shape drift — always fails).
+	ClassMissing Class = "missing"
+	// ClassNew: present in the current report, absent from the baseline
+	// (matrix shape drift — always fails; refresh the baseline to grow the
+	// matrix deliberately).
+	ClassNew Class = "new"
+	// ClassAdvisory: measured but not gated — parallel cells on a 1-CPU box,
+	// or any time comparison across incomparable environment fingerprints.
+	ClassAdvisory Class = "advisory"
+)
+
+// DiffOptions tunes the regression-diff engine.
+type DiffOptions struct {
+	// Tolerance is the allowed relative slowdown: a gated cell regresses
+	// when cur > base*(1+Tolerance) and the absolute delta clears MinDeltaNs.
+	// The improvement threshold is symmetric (cur < base/(1+Tolerance)).
+	Tolerance float64
+	// MinDeltaNs is the absolute noise floor: sub-floor deltas never regress
+	// regardless of ratio, which keeps microsecond-scale cells from gating
+	// on scheduler jitter.
+	MinDeltaNs int64
+	// GateParallel gates cells with Workers > 1. Callers clear it on a
+	// 1-CPU box, where multi-worker cells measure scheduling overhead with
+	// far more variance than parallel speedup (the skip-on-1-CPU guard).
+	GateParallel bool
+	// StrictEnv fails the diff on an environment-fingerprint mismatch
+	// instead of demoting time comparisons to advisory.
+	StrictEnv bool
+}
+
+// DefaultDiffOptions returns the gate defaults for a run measured under cur:
+// 75% relative tolerance, a 150µs absolute floor, and parallel-cell gating
+// only when the box actually has parallel hardware.
+func DefaultDiffOptions(cur Env) DiffOptions {
+	return DiffOptions{
+		Tolerance:    0.75,
+		MinDeltaNs:   150_000,
+		GateParallel: cur.NumCPU > 1,
+	}
+}
+
+// CellDelta is one cell's comparison: both measurements, their ratio, the
+// verdict, and whether the verdict counts toward pass/fail.
+type CellDelta struct {
+	CellKey
+	BaseNs int64
+	CurNs  int64
+	// Ratio is cur/base (0 when either side is missing).
+	Ratio float64
+	Class Class
+	// Gated cells count toward the verdict; ungated cells are advisory.
+	Gated bool
+	// Note carries the reason a cell is advisory or failing, for the table.
+	Note string
+}
+
+// Diff is the outcome of comparing a current report against a baseline.
+type Diff struct {
+	Deltas []CellDelta
+	// SchemaMismatch is non-empty when the reports carry different schema
+	// versions (always fails).
+	SchemaMismatch string
+	// EnvMismatch lists fingerprint fields that differ between the reports.
+	EnvMismatch []string
+	// Counts by verdict over all cells (gated or not).
+	Regressed, Improved, OK, Missing, New, Advisory int
+	// Pass is the gate verdict: no schema mismatch, no shape drift, and no
+	// gated regression.
+	Pass bool
+}
+
+// Compare runs the regression diff of cur against base. Shape (the cell-key
+// set) and schema are always enforced; time comparisons are enforced per
+// opt, and demoted to advisory wholesale when the environment fingerprints
+// are not comparable (unless opt.StrictEnv, which fails instead).
+func Compare(base, cur *Report, opt DiffOptions) *Diff {
+	d := &Diff{Pass: true}
+	if base.Schema != cur.Schema {
+		d.SchemaMismatch = fmt.Sprintf("baseline schema %q, current %q", base.Schema, cur.Schema)
+		d.Pass = false
+	}
+	d.EnvMismatch = envMismatches(base.Env, cur.Env)
+	envOK := base.Env.Comparable(cur.Env)
+	if !envOK && opt.StrictEnv {
+		d.Pass = false
+	}
+
+	baseCells := base.CellMap()
+	curCells := cur.CellMap()
+
+	// Baseline order first (stable, sorted by WriteReport), then any new
+	// cells in current order.
+	for _, bc := range base.Cells {
+		cc, ok := curCells[bc.CellKey]
+		if !ok {
+			d.Deltas = append(d.Deltas, CellDelta{
+				CellKey: bc.CellKey, BaseNs: bc.NsPerOp,
+				Class: ClassMissing, Gated: true, Note: "cell vanished from the matrix",
+			})
+			d.Missing++
+			d.Pass = false
+			continue
+		}
+		d.addDelta(bc.NsPerOp, cc.NsPerOp, bc.CellKey, opt, envOK)
+	}
+	for _, cc := range cur.Cells {
+		if _, ok := baseCells[cc.CellKey]; !ok {
+			d.Deltas = append(d.Deltas, CellDelta{
+				CellKey: cc.CellKey, CurNs: cc.NsPerOp,
+				Class: ClassNew, Gated: true, Note: "cell absent from the baseline",
+			})
+			d.New++
+			d.Pass = false
+		}
+	}
+	return d
+}
+
+// addDelta classifies one matched cell.
+func (d *Diff) addDelta(baseNs, curNs int64, key CellKey, opt DiffOptions, envOK bool) {
+	cd := CellDelta{CellKey: key, BaseNs: baseNs, CurNs: curNs}
+	if baseNs > 0 {
+		cd.Ratio = float64(curNs) / float64(baseNs)
+	}
+	gated := true
+	switch {
+	case !envOK:
+		gated = false
+		cd.Note = "environment fingerprints differ"
+	case key.Workers > 1 && !opt.GateParallel:
+		gated = false
+		cd.Note = "parallel cell on a 1-CPU box"
+	}
+	if !gated {
+		cd.Class = ClassAdvisory
+		d.Advisory++
+		d.Deltas = append(d.Deltas, cd)
+		return
+	}
+	cd.Gated = true
+	switch {
+	case cd.Ratio > 1+opt.Tolerance && curNs-baseNs > opt.MinDeltaNs:
+		cd.Class = ClassRegressed
+		cd.Note = fmt.Sprintf("slower than tolerance %.0f%%", opt.Tolerance*100)
+		d.Regressed++
+		d.Pass = false
+	case cd.Ratio > 0 && cd.Ratio < 1/(1+opt.Tolerance) && baseNs-curNs > opt.MinDeltaNs:
+		cd.Class = ClassImproved
+		cd.Note = "baseline is stale; consider refreshing"
+		d.Improved++
+	default:
+		cd.Class = ClassOK
+		d.OK++
+	}
+	d.Deltas = append(d.Deltas, cd)
+}
+
+// Regressions returns the gated regressed cell keys (the cells a caller may
+// want to re-measure before failing a CI run on a noisy box).
+func (d *Diff) Regressions() []CellKey {
+	var out []CellKey
+	for _, cd := range d.Deltas {
+		if cd.Gated && cd.Class == ClassRegressed {
+			out = append(out, cd.CellKey)
+		}
+	}
+	return out
+}
+
+// Table renders the human-readable delta table: one aligned row per cell
+// plus the envelope verdicts.
+func (d *Diff) Table() string {
+	var b strings.Builder
+	w := 4
+	for _, cd := range d.Deltas {
+		if n := len(cd.CellKey.String()); n > w {
+			w = n
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %12s  %12s  %7s  %-9s  %s\n", w, "cell", "base", "current", "ratio", "verdict", "note")
+	for _, cd := range d.Deltas {
+		fmt.Fprintf(&b, "%-*s  %12s  %12s  %7s  %-9s  %s\n",
+			w, cd.CellKey.String(), fmtNs(cd.BaseNs), fmtNs(cd.CurNs), fmtRatio(cd.Ratio), cd.Class, cd.Note)
+	}
+	if d.SchemaMismatch != "" {
+		fmt.Fprintf(&b, "schema: MISMATCH (%s)\n", d.SchemaMismatch)
+	}
+	for _, m := range d.EnvMismatch {
+		fmt.Fprintf(&b, "env: %s\n", m)
+	}
+	fmt.Fprintf(&b, "cells: %d ok, %d improved, %d regressed, %d missing, %d new, %d advisory\n",
+		d.OK, d.Improved, d.Regressed, d.Missing, d.New, d.Advisory)
+	if d.Pass {
+		fmt.Fprintf(&b, "verdict: PASS\n")
+	} else {
+		fmt.Fprintf(&b, "verdict: FAIL\n")
+	}
+	return b.String()
+}
+
+func fmtNs(ns int64) string {
+	switch {
+	case ns <= 0:
+		return "-"
+	case ns >= 1_000_000:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1_000:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	}
+	return fmt.Sprintf("%dns", ns)
+}
+
+func fmtRatio(r float64) string {
+	if r == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", r)
+}
+
+// envMismatches lists human-readable fingerprint differences.
+func envMismatches(a, b Env) []string {
+	var out []string
+	add := func(field, av, bv string) {
+		if av != bv {
+			out = append(out, fmt.Sprintf("%s: baseline %q, current %q", field, av, bv))
+		}
+	}
+	add("cpu_model", a.CPUModel, b.CPUModel)
+	add("num_cpu", fmt.Sprint(a.NumCPU), fmt.Sprint(b.NumCPU))
+	add("gomaxprocs", fmt.Sprint(a.GOMAXPROCS), fmt.Sprint(b.GOMAXPROCS))
+	add("go_version", a.GoVersion, b.GoVersion)
+	add("goos", a.GOOS, b.GOOS)
+	add("goarch", a.GOARCH, b.GOARCH)
+	return out
+}

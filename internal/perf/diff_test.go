@@ -1,0 +1,332 @@
+package perf
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// benchEnv is the fingerprint both synthetic reports share unless a test
+// perturbs one side.
+func benchEnv() Env {
+	return Env{
+		GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64",
+		CPUModel: "synthetic-cpu", NumCPU: 8, GOMAXPROCS: 8,
+	}
+}
+
+// syntheticReport builds a valid glign.bench/v1 report whose cell timings are
+// given as key -> ns.
+func syntheticReport(env Env, cells map[CellKey]int64) *Report {
+	r := &Report{
+		Schema:      SchemaVersion,
+		Benchmark:   "synthetic trajectory",
+		Aggregation: "median-of-reps",
+		Env:         env,
+		Config: Config{
+			Matrix: Matrix{Methods: []string{"Glign"}, Kernels: []string{"BFS"},
+				Graphs: []string{"LJ"}, Workers: []int{1}},
+			Size: "tiny", BatchSize: 4, Warmup: 1, Reps: 3, Seed: 1,
+		},
+	}
+	for key, ns := range cells {
+		r.Cells = append(r.Cells, Cell{
+			CellKey: key,
+			NsPerOp: ns,
+			RepsNs:  []int64{ns, ns, ns},
+			Sched:   SchedStats{Jobs: 1, Chunks: 1},
+		})
+	}
+	r.SortCells()
+	return r
+}
+
+func key(method, kernel string, workers int) CellKey {
+	return CellKey{Method: method, Kernel: kernel, Graph: "LJ", Workers: workers}
+}
+
+// gateOpts are the deterministic test options: 75% tolerance, 150µs floor,
+// parallel cells gated (a multi-CPU fingerprint).
+func gateOpts() DiffOptions {
+	return DiffOptions{Tolerance: 0.75, MinDeltaNs: 150_000, GateParallel: true}
+}
+
+func classOf(t *testing.T, d *Diff, k CellKey) CellDelta {
+	t.Helper()
+	for _, cd := range d.Deltas {
+		if cd.CellKey == k {
+			return cd
+		}
+	}
+	t.Fatalf("diff has no delta for %s", k)
+	return CellDelta{}
+}
+
+func TestDiffIdenticalReportsPass(t *testing.T) {
+	cells := map[CellKey]int64{
+		key("Glign", "BFS", 1): 2_000_000,
+		key("Glign", "BFS", 4): 900_000,
+	}
+	base := syntheticReport(benchEnv(), cells)
+	cur := syntheticReport(benchEnv(), cells)
+	d := Compare(base, cur, gateOpts())
+	if !d.Pass {
+		t.Fatalf("identical reports must pass:\n%s", d.Table())
+	}
+	if d.OK != 2 || d.Regressed != 0 || d.Improved != 0 || d.Advisory != 0 {
+		t.Fatalf("want 2 ok cells, got ok=%d regressed=%d improved=%d advisory=%d",
+			d.OK, d.Regressed, d.Improved, d.Advisory)
+	}
+}
+
+// TestDiffInjectedTwoXSlowdownFails is the acceptance demonstration: a
+// deliberately injected 2x slowdown on one cell must fail the gate (2.0 >
+// 1 + 0.75 tolerance, and the 2ms absolute delta clears the 150µs floor).
+func TestDiffInjectedTwoXSlowdownFails(t *testing.T) {
+	base := syntheticReport(benchEnv(), map[CellKey]int64{
+		key("Glign", "BFS", 1):  2_000_000,
+		key("Glign", "SSSP", 1): 3_000_000,
+	})
+	cur := syntheticReport(benchEnv(), map[CellKey]int64{
+		key("Glign", "BFS", 1):  4_000_000, // injected 2x slowdown
+		key("Glign", "SSSP", 1): 3_000_000,
+	})
+	d := Compare(base, cur, gateOpts())
+	if d.Pass {
+		t.Fatalf("2x slowdown must fail the gate:\n%s", d.Table())
+	}
+	cd := classOf(t, d, key("Glign", "BFS", 1))
+	if cd.Class != ClassRegressed || !cd.Gated {
+		t.Fatalf("slow cell: got class=%s gated=%v, want gated regressed", cd.Class, cd.Gated)
+	}
+	if cd.Ratio < 1.99 || cd.Ratio > 2.01 {
+		t.Fatalf("ratio = %v, want ~2.0", cd.Ratio)
+	}
+	if got := classOf(t, d, key("Glign", "SSSP", 1)).Class; got != ClassOK {
+		t.Fatalf("untouched cell: got %s, want ok", got)
+	}
+	if regs := d.Regressions(); len(regs) != 1 || regs[0] != key("Glign", "BFS", 1) {
+		t.Fatalf("Regressions() = %v, want just the slow cell", regs)
+	}
+}
+
+func TestDiffWithinNoiseJitterPasses(t *testing.T) {
+	base := syntheticReport(benchEnv(), map[CellKey]int64{key("Glign", "BFS", 1): 2_000_000})
+	// +40% is inside the 75% tolerance.
+	cur := syntheticReport(benchEnv(), map[CellKey]int64{key("Glign", "BFS", 1): 2_800_000})
+	d := Compare(base, cur, gateOpts())
+	if !d.Pass || d.OK != 1 {
+		t.Fatalf("within-noise jitter must be ok:\n%s", d.Table())
+	}
+}
+
+func TestDiffAbsoluteFloorSuppressesMicroRegressions(t *testing.T) {
+	// 3x ratio, but the absolute delta (100µs) is under the 150µs floor:
+	// microsecond-scale cells never gate on scheduler jitter.
+	base := syntheticReport(benchEnv(), map[CellKey]int64{key("Glign", "BFS", 1): 50_000})
+	cur := syntheticReport(benchEnv(), map[CellKey]int64{key("Glign", "BFS", 1): 150_000})
+	d := Compare(base, cur, gateOpts())
+	if !d.Pass {
+		t.Fatalf("sub-floor delta must not gate:\n%s", d.Table())
+	}
+	if got := classOf(t, d, key("Glign", "BFS", 1)).Class; got != ClassOK {
+		t.Fatalf("got %s, want ok", got)
+	}
+}
+
+func TestDiffImprovementIsReportedNotFailed(t *testing.T) {
+	base := syntheticReport(benchEnv(), map[CellKey]int64{key("Glign", "BFS", 1): 4_000_000})
+	cur := syntheticReport(benchEnv(), map[CellKey]int64{key("Glign", "BFS", 1): 1_000_000})
+	d := Compare(base, cur, gateOpts())
+	if !d.Pass || d.Improved != 1 {
+		t.Fatalf("4x speedup: want pass with 1 improved, got pass=%v improved=%d", d.Pass, d.Improved)
+	}
+}
+
+func TestDiffMissingCellFails(t *testing.T) {
+	base := syntheticReport(benchEnv(), map[CellKey]int64{
+		key("Glign", "BFS", 1): 2_000_000,
+		key("Glign", "BFS", 4): 900_000,
+	})
+	cur := syntheticReport(benchEnv(), map[CellKey]int64{key("Glign", "BFS", 1): 2_000_000})
+	d := Compare(base, cur, gateOpts())
+	if d.Pass || d.Missing != 1 {
+		t.Fatalf("vanished cell must fail: pass=%v missing=%d", d.Pass, d.Missing)
+	}
+	if got := classOf(t, d, key("Glign", "BFS", 4)).Class; got != ClassMissing {
+		t.Fatalf("got %s, want missing", got)
+	}
+}
+
+func TestDiffNewCellFails(t *testing.T) {
+	base := syntheticReport(benchEnv(), map[CellKey]int64{key("Glign", "BFS", 1): 2_000_000})
+	cur := syntheticReport(benchEnv(), map[CellKey]int64{
+		key("Glign", "BFS", 1): 2_000_000,
+		key("Glign", "BFS", 8): 500_000,
+	})
+	d := Compare(base, cur, gateOpts())
+	if d.Pass || d.New != 1 {
+		t.Fatalf("unexpected new cell must fail: pass=%v new=%d", d.Pass, d.New)
+	}
+	if got := classOf(t, d, key("Glign", "BFS", 8)).Class; got != ClassNew {
+		t.Fatalf("got %s, want new", got)
+	}
+}
+
+func TestDiffEnvMismatchDemotesToAdvisory(t *testing.T) {
+	base := syntheticReport(benchEnv(), map[CellKey]int64{key("Glign", "BFS", 1): 1_000_000})
+	otherEnv := benchEnv()
+	otherEnv.CPUModel = "different-cpu"
+	// A 10x slowdown, but the fingerprints are not comparable.
+	cur := syntheticReport(otherEnv, map[CellKey]int64{key("Glign", "BFS", 1): 10_000_000})
+	d := Compare(base, cur, gateOpts())
+	if !d.Pass || d.Advisory != 1 {
+		t.Fatalf("env mismatch must demote to advisory: pass=%v advisory=%d\n%s",
+			d.Pass, d.Advisory, d.Table())
+	}
+	if len(d.EnvMismatch) == 0 || !strings.Contains(d.EnvMismatch[0], "cpu_model") {
+		t.Fatalf("EnvMismatch = %v, want a cpu_model entry first", d.EnvMismatch)
+	}
+
+	// StrictEnv turns the same mismatch into a failure.
+	d = Compare(base, cur, DiffOptions{Tolerance: 0.75, MinDeltaNs: 150_000, GateParallel: true, StrictEnv: true})
+	if d.Pass {
+		t.Fatal("StrictEnv must fail on an environment mismatch")
+	}
+}
+
+func TestDiffParallelCellsAdvisoryOnOneCPU(t *testing.T) {
+	cells := map[CellKey]int64{
+		key("Glign", "BFS", 1): 2_000_000,
+		key("Glign", "BFS", 8): 1_000_000,
+	}
+	base := syntheticReport(benchEnv(), cells)
+	cur := syntheticReport(benchEnv(), map[CellKey]int64{
+		key("Glign", "BFS", 1): 2_000_000,
+		key("Glign", "BFS", 8): 20_000_000, // huge parallel "regression"
+	})
+	opt := gateOpts()
+	opt.GateParallel = false // the skip-on-1-CPU guard
+	d := Compare(base, cur, opt)
+	if !d.Pass {
+		t.Fatalf("ungated parallel cell must not fail:\n%s", d.Table())
+	}
+	cd := classOf(t, d, key("Glign", "BFS", 8))
+	if cd.Class != ClassAdvisory || cd.Gated {
+		t.Fatalf("parallel cell on 1 CPU: got class=%s gated=%v, want ungated advisory", cd.Class, cd.Gated)
+	}
+	if got := classOf(t, d, key("Glign", "BFS", 1)).Class; got != ClassOK {
+		t.Fatalf("serial cell stays gated: got %s, want ok", got)
+	}
+}
+
+func TestDiffSchemaMismatchFails(t *testing.T) {
+	base := syntheticReport(benchEnv(), map[CellKey]int64{key("Glign", "BFS", 1): 1_000_000})
+	cur := syntheticReport(benchEnv(), map[CellKey]int64{key("Glign", "BFS", 1): 1_000_000})
+	cur.Schema = "glign.bench/v2"
+	d := Compare(base, cur, gateOpts())
+	if d.Pass || d.SchemaMismatch == "" {
+		t.Fatalf("schema drift must fail: pass=%v mismatch=%q", d.Pass, d.SchemaMismatch)
+	}
+}
+
+func TestDiffTableRendersVerdicts(t *testing.T) {
+	base := syntheticReport(benchEnv(), map[CellKey]int64{
+		key("Glign", "BFS", 1):  2_000_000,
+		key("Glign", "SSSP", 1): 3_000_000,
+	})
+	cur := syntheticReport(benchEnv(), map[CellKey]int64{
+		key("Glign", "BFS", 1):  8_000_000,
+		key("Glign", "SSSP", 1): 3_000_000,
+	})
+	table := Compare(base, cur, gateOpts()).Table()
+	for _, want := range []string{
+		"Glign/BFS/LJ/w1", "2.00ms", "8.00ms", "4.00x", "regressed",
+		"verdict: FAIL", "1 regressed",
+	} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+	table = Compare(base, base, gateOpts()).Table()
+	if !strings.Contains(table, "verdict: PASS") {
+		t.Fatalf("pass table missing verdict:\n%s", table)
+	}
+}
+
+// TestDiffPropertyRandomTrajectories cross-checks the classifier against an
+// independent predicate over random (base, current) pairs.
+func TestDiffPropertyRandomTrajectories(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x91159))
+	opt := gateOpts()
+	for trial := 0; trial < 500; trial++ {
+		baseNs := int64(10_000 + rng.Intn(20_000_000))
+		curNs := int64(float64(baseNs) * (0.1 + rng.Float64()*4.0))
+		if curNs < 1 {
+			curNs = 1
+		}
+		k := key("Glign", "BFS", 1)
+		base := syntheticReport(benchEnv(), map[CellKey]int64{k: baseNs})
+		cur := syntheticReport(benchEnv(), map[CellKey]int64{k: curNs})
+		d := Compare(base, cur, opt)
+		cd := classOf(t, d, k)
+
+		ratio := float64(curNs) / float64(baseNs)
+		wantRegressed := ratio > 1+opt.Tolerance && curNs-baseNs > opt.MinDeltaNs
+		wantImproved := ratio < 1/(1+opt.Tolerance) && baseNs-curNs > opt.MinDeltaNs
+		switch {
+		case wantRegressed:
+			if cd.Class != ClassRegressed || d.Pass {
+				t.Fatalf("trial %d: base=%d cur=%d ratio=%.3f: got class=%s pass=%v, want gated regression",
+					trial, baseNs, curNs, ratio, cd.Class, d.Pass)
+			}
+		case wantImproved:
+			if cd.Class != ClassImproved || !d.Pass {
+				t.Fatalf("trial %d: base=%d cur=%d ratio=%.3f: got class=%s pass=%v, want passing improvement",
+					trial, baseNs, curNs, ratio, cd.Class, d.Pass)
+			}
+		default:
+			if cd.Class != ClassOK || !d.Pass {
+				t.Fatalf("trial %d: base=%d cur=%d ratio=%.3f: got class=%s pass=%v, want passing ok",
+					trial, baseNs, curNs, ratio, cd.Class, d.Pass)
+			}
+		}
+	}
+}
+
+func TestMedianNs(t *testing.T) {
+	cases := []struct {
+		in   []int64
+		want int64
+	}{
+		{[]int64{5}, 5},
+		{[]int64{3, 1, 2}, 2},
+		{[]int64{4, 1, 3, 2}, 2}, // (2+3)/2 rounds down
+		{[]int64{10, 10, 10, 1000}, 10},
+		{nil, 0},
+	}
+	for _, c := range cases {
+		if got := MedianNs(c.in); got != c.want {
+			t.Errorf("MedianNs(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	// Permutation invariance and non-mutation.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(9)
+		s := make([]int64, n)
+		for i := range s {
+			s[i] = int64(rng.Intn(1000))
+		}
+		before := fmt.Sprint(s)
+		want := MedianNs(s)
+		if after := fmt.Sprint(s); after != before {
+			t.Fatalf("MedianNs mutated its input: %s -> %s", before, after)
+		}
+		rng.Shuffle(n, func(i, j int) { s[i], s[j] = s[j], s[i] })
+		if got := MedianNs(s); got != want {
+			t.Fatalf("median not permutation-invariant: %v vs %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package perf
+
+import (
+	"os"
+	"runtime"
+	"strings"
+)
+
+// Fingerprint captures the environment a report was measured under. The CPU
+// model comes from /proc/cpuinfo on Linux; on other platforms (or when the
+// file is unreadable) it degrades to "unknown", which still compares stably
+// against baselines taken on the same box.
+func Fingerprint() Env {
+	return Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUModel:   cpuModel(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// cpuModel parses the first "model name" line of /proc/cpuinfo.
+func cpuModel() string {
+	raw, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return "unknown"
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, val, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(val)
+			}
+		}
+	}
+	return "unknown"
+}

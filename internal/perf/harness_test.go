@@ -1,0 +1,99 @@
+package perf
+
+import (
+	"testing"
+
+	"github.com/glign/glign/internal/systems"
+)
+
+// smokeConfig is a one-kernel slice of the matrix, sized to keep the test
+// under a second.
+func smokeConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Kernels = []string{"BFS"}
+	cfg.Graphs = []string{"LJ"}
+	cfg.Workers = []int{1, 2}
+	cfg.Size = "tiny"
+	cfg.Warmup = 0
+	cfg.Reps = 2
+	return cfg
+}
+
+func TestHarnessSmoke(t *testing.T) {
+	runner, err := NewRunner(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runner.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("harness produced an invalid report: %v", err)
+	}
+	wantCells := 2 * 1 * 1 * 2 // methods x kernels x graphs x workers
+	if len(rep.Cells) != wantCells {
+		t.Fatalf("got %d cells, want %d", len(rep.Cells), wantCells)
+	}
+	for _, c := range rep.Cells {
+		if len(c.RepsNs) != 2 {
+			t.Fatalf("cell %s: %d reps, want 2", c.CellKey, len(c.RepsNs))
+		}
+		if c.Iterations <= 0 {
+			t.Fatalf("cell %s: no iterations recorded", c.CellKey)
+		}
+		// Single-worker cells run every loop inline; parallel cells dispatch.
+		if c.Sched.Jobs+c.Sched.InlineRuns <= 0 {
+			t.Fatalf("cell %s: scheduler telemetry empty: %+v", c.CellKey, c.Sched)
+		}
+		if c.Workers > 1 && c.Sched.Jobs <= 0 {
+			t.Fatalf("cell %s: parallel cell dispatched no jobs: %+v", c.CellKey, c.Sched)
+		}
+	}
+	// Same kernel+graph must measure identical query buffers across methods
+	// and worker counts, which shows up as identical iteration counts per
+	// method (iterations are scheduling-independent for deterministic runs).
+	byMethod := make(map[string]int)
+	for _, c := range rep.Cells {
+		if prev, ok := byMethod[c.Method]; ok && prev != c.Iterations {
+			t.Fatalf("method %s: iteration count varies across worker counts (%d vs %d) — query buffers differ",
+				c.Method, prev, c.Iterations)
+		}
+		byMethod[c.Method] = c.Iterations
+	}
+	if rep.Env.NumCPU <= 0 || rep.Env.GoVersion == "" || rep.Env.CPUModel == "" {
+		t.Fatalf("environment fingerprint incomplete: %+v", rep.Env)
+	}
+}
+
+func TestHarnessSkipsIncapableCombos(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Methods = []string{systems.GraphM, systems.Glign}
+	cfg.Kernels = []string{"BFS", "PageRank"}
+	runner, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range runner.Keys() {
+		if k.Method == systems.GraphM && k.Kernel == "PageRank" {
+			t.Fatal("GraphM cannot run iterate-to-convergence kernels; the matrix must skip the combo")
+		}
+	}
+}
+
+func TestNewRunnerRejectsBadConfig(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Kernels = nil },
+		func(c *Config) { c.Kernels = []string{"NOPE"} },
+		func(c *Config) { c.Size = "huge" },
+		func(c *Config) { c.Reps = 0 },
+		func(c *Config) { c.BatchSize = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := smokeConfig()
+		mutate(&cfg)
+		if _, err := NewRunner(cfg); err == nil {
+			t.Errorf("case %d: NewRunner accepted a bad config", i)
+		}
+	}
+}

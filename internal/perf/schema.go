@@ -1,0 +1,205 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// SchemaVersion is the envelope identifier every benchmark report carries.
+// The gate refuses to compare reports whose versions differ: a schema change
+// without a deliberate baseline refresh is itself a regression.
+const SchemaVersion = "glign.bench/v1"
+
+// CellKey identifies one cell of the benchmark matrix.
+type CellKey struct {
+	Method  string `json:"method"`
+	Kernel  string `json:"kernel"`
+	Graph   string `json:"graph"`
+	Workers int    `json:"workers"`
+}
+
+// String renders the cell coordinate as "Method/Kernel/Graph/wN".
+func (k CellKey) String() string {
+	return fmt.Sprintf("%s/%s/%s/w%d", k.Method, k.Kernel, k.Graph, k.Workers)
+}
+
+// SchedStats is the per-cell scheduler telemetry: the work-stealing pool's
+// counter deltas accumulated over the measured repetitions (the cell runs on
+// a dedicated pool, so the deltas are attributable to the cell alone).
+type SchedStats struct {
+	Jobs           int64   `json:"jobs"`
+	InlineRuns     int64   `json:"inline_runs"`
+	Chunks         int64   `json:"chunks"`
+	Steals         int64   `json:"steals"`
+	Parks          int64   `json:"parks"`
+	ImbalanceRatio float64 `json:"chunk_imbalance_ratio"`
+}
+
+// Cell is one measured matrix cell.
+type Cell struct {
+	CellKey
+	// NsPerOp is the median over RepsNs; one "op" is a full systems.Run of
+	// the cell's query buffer (batching + evaluation).
+	NsPerOp int64 `json:"ns_per_op"`
+	// RepsNs lists every measured repetition in run order.
+	RepsNs []int64 `json:"reps_ns"`
+	// Iterations is the run's global-iteration total (a cheap sanity anchor:
+	// a timing diff between runs that executed different iteration counts is
+	// comparing different work).
+	Iterations int        `json:"iterations"`
+	Sched      SchedStats `json:"sched"`
+}
+
+// Env is the machine fingerprint embedded in every report. The diff engine
+// only enforces time comparisons between fingerprints with the same CPU
+// model and CPU count; anything else is advisory.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPUModel   string `json:"cpu_model"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// Comparable reports whether time measurements taken under e and o can be
+// meaningfully compared: same CPU model, CPU count, and GOMAXPROCS. Go
+// version and OS differences are reported but do not break comparability.
+func (e Env) Comparable(o Env) bool {
+	return e.CPUModel == o.CPUModel && e.NumCPU == o.NumCPU && e.GOMAXPROCS == o.GOMAXPROCS
+}
+
+// Matrix is the benchmark grid. The cross product of its axes (minus
+// paradigm-incapable method/kernel combinations, which the runner skips)
+// defines the report's cell set.
+type Matrix struct {
+	Methods []string `json:"methods"`
+	Kernels []string `json:"kernels"`
+	Graphs  []string `json:"graphs"`
+	Workers []int    `json:"workers"`
+}
+
+// Config parameterizes a harness run.
+type Config struct {
+	Matrix
+	// Size is the synthetic-graph size class: "tiny", "small" or "medium".
+	Size string `json:"size"`
+	// BatchSize is the query-buffer size of one op.
+	BatchSize int `json:"batch"`
+	// Warmup runs are executed and discarded before the Reps measured runs.
+	Warmup int `json:"warmup"`
+	Reps   int `json:"reps"`
+	// Seed feeds the per-cell source sampler (splitmix over the cell name),
+	// so every report measures identical query buffers.
+	Seed int64 `json:"seed"`
+}
+
+// Report is the glign.bench/v1 artifact.
+type Report struct {
+	Schema    string `json:"schema"`
+	Benchmark string `json:"benchmark"`
+	// GeneratedAt is an RFC3339 timestamp; informational only (never
+	// compared, empty in golden fixtures).
+	GeneratedAt string `json:"generated_at,omitempty"`
+	Aggregation string `json:"aggregation"`
+	Env         Env    `json:"environment"`
+	Config      Config `json:"config"`
+	Cells       []Cell `json:"cells"`
+}
+
+// Validate checks the envelope: schema version, aggregation, and per-cell
+// internal consistency (NsPerOp must be the median of RepsNs).
+func (r *Report) Validate() error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("perf: schema %q, want %q", r.Schema, SchemaVersion)
+	}
+	if len(r.Cells) == 0 {
+		return fmt.Errorf("perf: report has no cells")
+	}
+	seen := make(map[CellKey]bool, len(r.Cells))
+	for _, c := range r.Cells {
+		if seen[c.CellKey] {
+			return fmt.Errorf("perf: duplicate cell %s", c.CellKey)
+		}
+		seen[c.CellKey] = true
+		if len(c.RepsNs) == 0 {
+			return fmt.Errorf("perf: cell %s has no repetitions", c.CellKey)
+		}
+		if m := MedianNs(c.RepsNs); m != c.NsPerOp {
+			return fmt.Errorf("perf: cell %s ns_per_op %d is not the median of reps_ns (%d)",
+				c.CellKey, c.NsPerOp, m)
+		}
+		if c.NsPerOp <= 0 {
+			return fmt.Errorf("perf: cell %s has non-positive ns_per_op %d", c.CellKey, c.NsPerOp)
+		}
+	}
+	return nil
+}
+
+// CellMap indexes the report's cells by coordinate.
+func (r *Report) CellMap() map[CellKey]*Cell {
+	m := make(map[CellKey]*Cell, len(r.Cells))
+	for i := range r.Cells {
+		m[r.Cells[i].CellKey] = &r.Cells[i]
+	}
+	return m
+}
+
+// SortCells orders cells by coordinate (method, kernel, graph, workers) so
+// reports serialize deterministically regardless of measurement order.
+func (r *Report) SortCells() {
+	sort.Slice(r.Cells, func(i, j int) bool {
+		a, b := r.Cells[i].CellKey, r.Cells[j].CellKey
+		if a.Method != b.Method {
+			return a.Method < b.Method
+		}
+		if a.Kernel != b.Kernel {
+			return a.Kernel < b.Kernel
+		}
+		if a.Graph != b.Graph {
+			return a.Graph < b.Graph
+		}
+		return a.Workers < b.Workers
+	})
+}
+
+// MedianNs returns the median of ns (average of the two middles for even
+// lengths, rounding down). It does not modify ns.
+func MedianNs(ns []int64) int64 {
+	if len(ns) == 0 {
+		return 0
+	}
+	s := make([]int64, len(ns))
+	copy(s, ns)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// ReadReport loads and validates a glign.bench/v1 report from path.
+func ReadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("perf: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return &r, nil
+}
+
+// WriteReport writes the report to path atomically (temp file + rename), so
+// an interrupted run never leaves a truncated artifact behind.
+func (r *Report) WriteReport(path string) error {
+	r.SortCells()
+	return WriteJSONAtomic(path, r)
+}

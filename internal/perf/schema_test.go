@@ -1,0 +1,122 @@
+package perf
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// goldenReport is the fixture pinned in testdata/golden_report.json. Any
+// change to the glign.bench/v1 wire format shows up as a golden diff here,
+// forcing a deliberate schema-version bump.
+func goldenReport() *Report {
+	return &Report{
+		Schema:      SchemaVersion,
+		Benchmark:   "glign method-matrix trajectory",
+		Aggregation: "median-of-reps",
+		Env: Env{
+			GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64",
+			CPUModel: "golden-cpu", NumCPU: 8, GOMAXPROCS: 8,
+		},
+		Config: Config{
+			Matrix: Matrix{
+				Methods: []string{"Glign", "Ligra-C"},
+				Kernels: []string{"BFS", "PageRank"},
+				Graphs:  []string{"LJ"},
+				Workers: []int{1, 8},
+			},
+			Size: "tiny", BatchSize: 4, Warmup: 1, Reps: 3, Seed: 0x91159,
+		},
+		Cells: []Cell{
+			{
+				CellKey: CellKey{Method: "Glign", Kernel: "BFS", Graph: "LJ", Workers: 1},
+				NsPerOp: 2_000_000, RepsNs: []int64{2_100_000, 2_000_000, 1_900_000},
+				Iterations: 12,
+				Sched:      SchedStats{Jobs: 24, InlineRuns: 24, Chunks: 24},
+			},
+			{
+				CellKey: CellKey{Method: "Glign", Kernel: "BFS", Graph: "LJ", Workers: 8},
+				NsPerOp: 650_000, RepsNs: []int64{700_000, 650_000, 640_000},
+				Iterations: 12,
+				Sched: SchedStats{Jobs: 24, Chunks: 96, Steals: 11, Parks: 30,
+					ImbalanceRatio: 1.25},
+			},
+		},
+	}
+}
+
+func TestGoldenReportRoundTrip(t *testing.T) {
+	golden := filepath.Join("testdata", "golden_report.json")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate testdata/golden_report.json from goldenReport())", err)
+	}
+
+	r := goldenReport()
+	got, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	if string(got) != string(want) {
+		t.Fatalf("glign.bench/v1 wire format drifted from the golden fixture.\n"+
+			"If deliberate, bump SchemaVersion and regenerate testdata/golden_report.json.\n"+
+			"got:\n%s\nwant:\n%s", got, want)
+	}
+
+	// The committed fixture must load, validate, and decode to the same
+	// struct it was generated from.
+	loaded, err := ReadReport(golden)
+	if err != nil {
+		t.Fatalf("golden fixture does not load: %v", err)
+	}
+	if !reflect.DeepEqual(loaded, r) {
+		t.Fatalf("golden fixture decodes to a different report:\n%+v\nwant\n%+v", loaded, r)
+	}
+}
+
+func TestWriteReadReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	r := goldenReport()
+	// Shuffle the cells: WriteReport must sort them back.
+	r.Cells[0], r.Cells[1] = r.Cells[1], r.Cells[0]
+	if err := r.WriteReport(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded, goldenReport()) {
+		t.Fatalf("round trip changed the report:\n%+v", loaded)
+	}
+}
+
+func TestValidateRejectsBrokenReports(t *testing.T) {
+	breakages := []struct {
+		name  string
+		mutil func(*Report)
+	}{
+		{"wrong schema", func(r *Report) { r.Schema = "glign.bench/v0" }},
+		{"no cells", func(r *Report) { r.Cells = nil }},
+		{"duplicate cell", func(r *Report) { r.Cells = append(r.Cells, r.Cells[0]) }},
+		{"no reps", func(r *Report) { r.Cells[0].RepsNs = nil }},
+		{"median mismatch", func(r *Report) { r.Cells[0].NsPerOp++ }},
+		{"non-positive time", func(r *Report) {
+			r.Cells[0].NsPerOp = 0
+			r.Cells[0].RepsNs = []int64{0, 0, 0}
+		}},
+	}
+	for _, b := range breakages {
+		r := goldenReport()
+		b.mutil(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken report", b.name)
+		}
+	}
+	if err := goldenReport().Validate(); err != nil {
+		t.Fatalf("unbroken golden report must validate: %v", err)
+	}
+}

@@ -151,9 +151,9 @@ func (labelprop) MaxRounds() int   { return labelpropMaxRounds }
 // path, so it exercises every engine's OpCustom interface-dispatch route.
 type khop struct{ k int }
 
-func (h khop) Name() string       { return fmt.Sprintf("KHOP%d", h.k) }
-func (khop) Identity() Value      { return math.Inf(1) }
-func (khop) SourceValue() Value   { return 0 }
+func (h khop) Name() string     { return fmt.Sprintf("KHOP%d", h.k) }
+func (khop) Identity() Value    { return math.Inf(1) }
+func (khop) SourceValue() Value { return 0 }
 func (h khop) Relax(src Value, _ graph.Weight) Value {
 	next := src + 1
 	if next > Value(h.k) {

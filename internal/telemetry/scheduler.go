@@ -26,6 +26,11 @@ type SchedulerMetrics struct {
 	// ChunkImbalance is the power-of-two histogram of ChunksPerWorker — a
 	// wide spread means the stealing failed to level the load.
 	ChunkImbalance []HistBucket `json:"chunk_imbalance"`
+	// ChunkImbalanceRatio condenses the histogram to one figure (max over
+	// mean chunks among active participants; 1.0 = perfectly level) — the
+	// same statistic the perf gate's bench reports carry per cell. Additive
+	// to glign.telemetry/v1.
+	ChunkImbalanceRatio float64 `json:"chunk_imbalance_ratio"`
 }
 
 // ObservePool snapshots the scheduling counters of p into the collector's
@@ -45,14 +50,15 @@ func (c *Collector) ObservePool(p *par.Pool) {
 		imb.Observe(n)
 	}
 	sm := &SchedulerMetrics{
-		Workers:         s.Workers,
-		Jobs:            s.Jobs,
-		InlineRuns:      s.InlineRuns,
-		Chunks:          s.Chunks,
-		Steals:          s.Steals,
-		Parks:           s.Parks,
-		ChunksPerWorker: s.ChunksPerWorker,
-		ChunkImbalance:  imb.Snapshot(),
+		Workers:             s.Workers,
+		Jobs:                s.Jobs,
+		InlineRuns:          s.InlineRuns,
+		Chunks:              s.Chunks,
+		Steals:              s.Steals,
+		Parks:               s.Parks,
+		ChunksPerWorker:     s.ChunksPerWorker,
+		ChunkImbalance:      imb.Snapshot(),
+		ChunkImbalanceRatio: s.ImbalanceRatio(),
 	}
 	c.mu.Lock()
 	c.sched = sm
